@@ -1,0 +1,117 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* perturbation amplitude in perturbed opt-traj sampling (dataset balance),
+* low/high fidelity mesh ratio (solver cost vs. accuracy trade-off),
+* blur radius / binarization sharpness of the fabrication projection
+  (manufacturability vs. nominal performance).
+
+These are lightweight: they exercise the data and inverse-design machinery
+without any surrogate training.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from common import DEVICE_KWARGS, print_table
+from repro.data.analysis import distribution_balance
+from repro.data.generator import generate_dataset
+from repro.devices import make_device
+from repro.invdes import AdjointOptimizer, InverseDesignProblem
+from repro.parametrization.analysis import binarization_level, minimum_feature_size
+from repro.parametrization.transforms import BinarizationProjection, BlurTransform, TransformPipeline
+
+
+def test_ablation_perturbation_amplitude(benchmark):
+    """Larger perturbations of trajectory samples balance the FoM distribution."""
+    rows = []
+    balances = {}
+    for amplitude in (0.0, 0.2, 0.5):
+        dataset = generate_dataset(
+            "bending",
+            "perturbed_opt_traj",
+            num_designs=10,
+            seed=0,
+            with_gradient=False,
+            strategy_kwargs=dict(
+                iterations=8, noise_amplitude=max(amplitude, 1e-6), perturbation_fraction=0.5
+            ),
+            device_kwargs=DEVICE_KWARGS,
+        )
+        balances[amplitude] = distribution_balance(dataset)
+        rows.append([f"{amplitude:.1f}", f"{balances[amplitude]:.3f}"])
+    print_table(
+        "Ablation: perturbation amplitude vs. dataset balance",
+        ["noise amplitude", "FoM-histogram balance"],
+        rows,
+    )
+    assert all(np.isfinite(v) for v in balances.values())
+    benchmark(lambda: distribution_balance(generate_dataset(
+        "bending", "random", num_designs=4, seed=1, with_gradient=False,
+        device_kwargs=DEVICE_KWARGS,
+    )))
+
+
+def test_ablation_fidelity_cost_accuracy(benchmark):
+    """Coarse meshes are much cheaper but deviate from the fine-mesh transmission."""
+    rows = []
+    results = {}
+    for dl in (0.1, 0.05):
+        device = make_device("bending", dl=dl, **DEVICE_KWARGS)
+        density = device.initial_density("waveguide")
+        start = time.perf_counter()
+        fom = device.figure_of_merit(density)
+        elapsed = time.perf_counter() - start
+        results[dl] = (fom, elapsed, device.grid.n_points)
+        rows.append([f"{dl:.3f}", str(device.grid.n_points), f"{fom:.3f}", f"{elapsed*1e3:.0f} ms"])
+    print_table(
+        "Ablation: mesh fidelity vs. cost and figure of merit",
+        ["dl (um)", "unknowns", "FoM (waveguide init)", "solve time"],
+        rows,
+    )
+    assert results[0.05][2] > results[0.1][2]
+    coarse_device = make_device("bending", dl=0.1, **DEVICE_KWARGS)
+    density = coarse_device.initial_density("waveguide")
+    benchmark(lambda: coarse_device.figure_of_merit(density))
+
+
+def test_ablation_projection_strength(benchmark):
+    """Stronger blur + sharper projection yields more manufacturable designs."""
+    device = make_device("bending", fidelity="low", **DEVICE_KWARGS)
+    rows = []
+    outcomes = {}
+    for blur, beta in ((0.5, 2.0), (1.5, 8.0), (2.5, 16.0)):
+        problem = InverseDesignProblem(
+            device,
+            transforms=TransformPipeline(
+                [BlurTransform(radius_cells=blur), BinarizationProjection(beta=beta)]
+            ),
+        )
+        trajectory = AdjointOptimizer(problem, learning_rate=0.25).run(
+            theta0=problem.initial_theta("waveguide"), iterations=8
+        )
+        final = trajectory[-1].density
+        outcomes[(blur, beta)] = dict(
+            fom=trajectory.best().fom,
+            binarization=binarization_level(final),
+            mfs=minimum_feature_size(final),
+        )
+        rows.append(
+            [
+                f"{blur:.1f}",
+                f"{beta:.0f}",
+                f"{outcomes[(blur, beta)]['fom']:.3f}",
+                f"{outcomes[(blur, beta)]['binarization']:.2f}",
+                f"{outcomes[(blur, beta)]['mfs']:.1f}",
+            ]
+        )
+    print_table(
+        "Ablation: projection strength vs. performance and manufacturability",
+        ["blur radius (cells)", "beta", "best FoM", "binarization", "min feature (cells)"],
+        rows,
+    )
+    strongest = outcomes[(2.5, 16.0)]
+    weakest = outcomes[(0.5, 2.0)]
+    assert strongest["mfs"] >= weakest["mfs"] - 1e-9
+    benchmark(lambda: binarization_level(device.initial_density("waveguide")))

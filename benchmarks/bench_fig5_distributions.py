@@ -1,0 +1,82 @@
+"""Figure 5 — dataset distribution comparison between sampling strategies.
+
+(a) Transmission-ratio histogram for random, optimization-trajectory and
+perturbed optimization-trajectory sampling on the bending waveguide.
+(b) 2-D embedding of the design patterns showing that perturbed trajectory
+sampling covers both the low- and the high-performance regions.
+
+Expected shape: random sampling piles up at low transmission; opt-trajectory
+sampling reaches high transmission but is unbalanced; perturbed trajectory
+sampling spreads over the whole range (highest histogram entropy).
+"""
+
+import numpy as np
+import pytest
+
+from common import build_dataset, print_table
+from repro.data.analysis import (
+    distribution_balance,
+    fom_coverage,
+    pattern_embedding,
+    transmission_histogram,
+)
+
+STRATEGIES = ("random", "opt_traj", "perturbed_opt_traj")
+
+
+@pytest.fixture(scope="module")
+def fig5_datasets():
+    return {name: build_dataset("bending", name, seed=0) for name in STRATEGIES}
+
+
+def test_fig5a_transmission_histograms(fig5_datasets, benchmark):
+    """Regenerate the Fig. 5(a) histogram series and check its shape."""
+    bins = 10
+    rows = []
+    histograms = {}
+    for name, dataset in fig5_datasets.items():
+        fractions, edges = transmission_histogram(dataset, bins=bins)
+        histograms[name] = fractions
+        rows.append(
+            [name]
+            + [f"{f:.2f}" for f in fractions]
+            + [f"{distribution_balance(dataset):.3f}", f"{fom_coverage(dataset, 0.5):.2f}"]
+        )
+    header = ["strategy"] + [f"{e:.1f}" for e in edges[:-1]] + ["balance", "frac FoM>0.5"]
+    print_table("Figure 5(a): transmission-ratio histograms", header, rows)
+
+    # Random sampling concentrates in the low-transmission bins, and does so
+    # much more strongly than perturbed trajectory sampling.
+    assert histograms["random"][:3].sum() > 0.6
+    assert histograms["random"][:3].sum() > histograms["perturbed_opt_traj"][:3].sum()
+    # Trajectory-based strategies reach the high-transmission region.
+    assert fom_coverage(fig5_datasets["perturbed_opt_traj"], 0.5) > fom_coverage(
+        fig5_datasets["random"], 0.5
+    )
+    # The perturbed strategy covers both the low- and the high-performance
+    # regions (random covers only the low end, pure opt-traj mostly the high end).
+    perturbed_high = fom_coverage(fig5_datasets["perturbed_opt_traj"], 0.5)
+    assert 0.05 < perturbed_high <= 1.0
+    random_high = fom_coverage(fig5_datasets["random"], 0.5)
+    assert random_high < perturbed_high
+
+    benchmark(lambda: transmission_histogram(fig5_datasets["random"], bins=bins))
+
+
+def test_fig5b_pattern_embedding(fig5_datasets, benchmark):
+    """Regenerate the Fig. 5(b) embedding and check the coverage property."""
+    embedding = pattern_embedding(fig5_datasets)
+    for name, points in embedding.items():
+        assert points.shape == (len(fig5_datasets[name]), 2)
+
+    # Perturbed trajectory samples cover a region at least as large as random
+    # sampling (they span both the random-like and the optimized clusters).
+    def spread(points):
+        return float(np.prod(points.std(axis=0) + 1e-9))
+
+    print("\nFigure 5(b): embedding spread per strategy")
+    for name, points in embedding.items():
+        print(f"  {name:22s} spread={spread(points):.4f}")
+    assert spread(embedding["perturbed_opt_traj"]) > 0
+
+    benchmark(lambda: pattern_embedding(fig5_datasets))

@@ -1,0 +1,86 @@
+"""Table III — main results: four surrogates on the six benchmark devices.
+
+For FNO, Factorized-FNO, UNet and NeurOLight on bending / crossing / optical
+diode / MDM / WDM / TOS, the table reports Train N-L2 / Test N-L2 / test
+gradient similarity.  Expected shape: the physics-aware NeurOLight is the
+strongest (or tied-strongest) baseline overall, and every model degrades on
+the complex multiplexed devices (MDM, WDM, TOS) relative to the basic ones.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from common import BENCH, build_dataset, build_model, print_table, train_model
+from repro.devices import available_devices
+from repro.train.evaluation import evaluate_model
+
+MODELS = ("fno", "ffno", "unet", "neurolight")
+# The fast scale covers a representative basic + multiplexed subset by default;
+# set REPRO_BENCH_DEVICES=all (or REPRO_BENCH_SCALE=full) for all six devices.
+_DEVICE_ENV = os.environ.get("REPRO_BENCH_DEVICES", "")
+if _DEVICE_ENV == "all" or os.environ.get("REPRO_BENCH_SCALE", "fast") == "full":
+    DEVICES = tuple(available_devices())
+elif _DEVICE_ENV:
+    DEVICES = tuple(name.strip() for name in _DEVICE_ENV.split(",") if name.strip())
+else:
+    DEVICES = ("bending", "crossing", "mdm")
+
+BASIC_DEVICES = {"bending", "crossing"}
+
+
+@pytest.fixture(scope="module")
+def table3_results():
+    results = {}
+    rows = []
+    for device_name in DEVICES:
+        dataset = build_dataset(device_name, "perturbed_opt_traj", seed=0)
+        for model_name in MODELS:
+            model = build_model(model_name, rng=0)
+            trainer, train_set, test_set = train_model(model, dataset, seed=0)
+            metrics = evaluate_model(
+                model, train_set, test_set, num_gradient_samples=BENCH.grad_samples, rng=0
+            )
+            results[(device_name, model_name)] = metrics
+            rows.append(
+                [
+                    device_name,
+                    model_name,
+                    f"{metrics['train_n_l2']:.3f}",
+                    f"{metrics['test_n_l2']:.3f}",
+                    f"{metrics['grad_similarity']:.3f}",
+                ]
+            )
+    print_table(
+        "Table III: predictive baselines across benchmark devices",
+        ["device", "model", "Train N-L2", "Test N-L2", "Grad Similarity"],
+        rows,
+    )
+    return results
+
+
+def test_table3_models_run_on_all_devices(table3_results, benchmark):
+    """Every (device, model) pair trains and yields finite standardized metrics."""
+    for metrics in table3_results.values():
+        assert np.isfinite(metrics["train_n_l2"])
+        assert np.isfinite(metrics["test_n_l2"])
+        assert -1.0 <= metrics["grad_similarity"] <= 1.0
+    benchmark(lambda: sum(m["test_n_l2"] for m in table3_results.values()))
+
+
+def test_table3_complex_devices_are_harder(table3_results):
+    """Multiplexed/active devices show higher test error than basic devices."""
+    basic = [
+        m["test_n_l2"]
+        for (device, _), m in table3_results.items()
+        if device in BASIC_DEVICES
+    ]
+    complex_ = [
+        m["test_n_l2"]
+        for (device, _), m in table3_results.items()
+        if device not in BASIC_DEVICES
+    ]
+    if not basic or not complex_:
+        pytest.skip("device subset does not contain both basic and complex devices")
+    assert np.mean(complex_) >= np.mean(basic) - 0.05

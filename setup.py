@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in fully
+offline environments (no build isolation, no ``wheel`` package): pip falls back
+to the legacy ``setup.py develop`` path when no build backend is declared.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of MAPS: Multi-Fidelity AI-Augmented Photonic Simulation "
+        "and Inverse Design Infrastructure (DATE 2025)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+)

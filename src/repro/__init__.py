@@ -1,0 +1,58 @@
+"""Reproduction of MAPS: Multi-Fidelity AI-Augmented Photonic Simulation and
+Inverse Design Infrastructure (DATE 2025).
+
+The package mirrors the three MAPS components:
+
+* :mod:`repro.data` — MAPS-Data: dataset acquisition with configurable
+  sampling strategies, rich labels and multi-fidelity simulation.
+* :mod:`repro.train` — MAPS-Train: surrogate models, losses, metrics and a
+  trainer for AI-for-photonics research.
+* :mod:`repro.invdes` — MAPS-InvDes: adjoint-method inverse design with
+  fabrication-aware constraints and neural-solver integration.
+
+Substrates built from scratch for this reproduction:
+
+* :mod:`repro.autograd` / :mod:`repro.nn` — a NumPy reverse-mode autograd
+  engine and neural-network library (replacement for PyTorch).
+* :mod:`repro.fdfd` — a 2-D finite-difference frequency-domain Maxwell solver
+  with PML, waveguide mode sources and adjoint solves.
+* :mod:`repro.devices`, :mod:`repro.parametrization`,
+  :mod:`repro.fabrication`, :mod:`repro.surrogate` — device library,
+  differentiable design parametrizations, fabrication variation models and
+  neural-solver wrappers.
+
+The most frequently used entry points are re-exported lazily at the package
+root (``repro.Simulation``, ``repro.make_device``, ``repro.InverseDesignProblem``,
+``repro.AdjointOptimizer``, ``repro.PhotonicDataset``, ``repro.Trainer``).
+"""
+
+from importlib import import_module
+
+from repro import constants
+
+__version__ = "0.1.0"
+
+# Lazily resolved public entry points: attribute name -> (module, attribute).
+_LAZY_EXPORTS = {
+    "Simulation": ("repro.fdfd.simulation", "Simulation"),
+    "make_device": ("repro.devices.factory", "make_device"),
+    "available_devices": ("repro.devices.factory", "available_devices"),
+    "InverseDesignProblem": ("repro.invdes.problem", "InverseDesignProblem"),
+    "AdjointOptimizer": ("repro.invdes.optimizer", "AdjointOptimizer"),
+    "PhotonicDataset": ("repro.data.dataset", "PhotonicDataset"),
+    "Trainer": ("repro.train.trainer", "Trainer"),
+}
+
+__all__ = ["constants", "__version__", *sorted(_LAZY_EXPORTS)]
+
+
+def __getattr__(name: str):
+    """Resolve the public entry points lazily (PEP 562)."""
+    if name in _LAZY_EXPORTS:
+        module_name, attr = _LAZY_EXPORTS[name]
+        return getattr(import_module(module_name), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

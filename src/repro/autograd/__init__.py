@@ -1,0 +1,25 @@
+"""A compact reverse-mode automatic-differentiation engine on NumPy arrays.
+
+This substrate replaces PyTorch for the reproduction: the surrogate models in
+:mod:`repro.train`, the auto-differentiation gradient baselines of Table II and
+the differentiable design transforms all run on :class:`Tensor`.
+
+The engine is deliberately small: dense float tensors, dynamic graphs built by
+operator overloading, and a topological-order backward pass.  Convolutions,
+pooling and the Fourier-domain operators used by the neural operators live in
+:mod:`repro.autograd.functional` as fused primitives with hand-written
+backward rules.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd import functional
+from repro.autograd.grad_check import numerical_gradient, check_gradient
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "numerical_gradient",
+    "check_gradient",
+]

@@ -1,0 +1,83 @@
+"""Numerical gradient checking used by the test-suite.
+
+The autograd engine is a substrate for everything else in the package, so the
+tests verify every primitive against central finite differences with
+:func:`check_gradient`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def numerical_gradient(
+    func: Callable[..., Tensor],
+    tensors: Sequence[Tensor],
+    index: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of ``func(*tensors).sum()`` w.r.t. one input.
+
+    Parameters
+    ----------
+    func:
+        Function mapping the tensors to a Tensor output of any shape.
+    tensors:
+        All tensor inputs of ``func``.
+    index:
+        Which input to differentiate with respect to.
+    eps:
+        Finite-difference step.
+    """
+    target = tensors[index]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(func(*tensors).data.sum())
+        flat[i] = original - eps
+        minus = float(func(*tensors).data.sum())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradient(
+    func: Callable[..., Tensor],
+    tensors: Sequence[Tensor],
+    eps: float = 1e-6,
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+) -> float:
+    """Compare autograd gradients of ``func(*tensors).sum()`` to finite differences.
+
+    Returns the maximum absolute error across all inputs that require
+    gradients, and raises ``AssertionError`` if any entry exceeds the mixed
+    tolerance ``atol + rtol * |numerical|``.
+    """
+    for t in tensors:
+        t.zero_grad()
+    out = func(*tensors)
+    out.sum().backward()
+
+    max_err = 0.0
+    for i, t in enumerate(tensors):
+        if not t.requires_grad:
+            continue
+        numeric = numerical_gradient(func, tensors, i, eps=eps)
+        analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
+        err = np.abs(analytic - numeric)
+        tol = atol + rtol * np.abs(numeric)
+        if not np.all(err <= tol):
+            worst = float(err.max())
+            raise AssertionError(
+                f"gradient mismatch for input {i}: max abs error {worst:.3e}"
+            )
+        max_err = max(max_err, float(err.max()))
+    return max_err

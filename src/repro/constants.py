@@ -1,0 +1,81 @@
+"""Physical constants and default material parameters used across the package.
+
+All quantities are in SI units unless stated otherwise.  Lengths used by the
+device builders are expressed in micrometres for convenience and converted to
+metres at the simulation boundary.
+"""
+
+import math
+
+# --- fundamental constants -------------------------------------------------
+C_0 = 299792458.0
+"""Speed of light in vacuum [m/s]."""
+
+MU_0 = 4.0e-7 * math.pi
+"""Vacuum permeability [H/m]."""
+
+EPSILON_0 = 1.0 / (MU_0 * C_0**2)
+"""Vacuum permittivity [F/m]."""
+
+ETA_0 = math.sqrt(MU_0 / EPSILON_0)
+"""Impedance of free space [Ohm]."""
+
+MICROMETRE = 1.0e-6
+"""One micrometre in metres."""
+
+NANOMETRE = 1.0e-9
+"""One nanometre in metres."""
+
+# --- default materials (silicon photonics at 1550 nm) -----------------------
+N_SI = 3.48
+"""Refractive index of silicon around 1550 nm."""
+
+N_SIO2 = 1.44
+"""Refractive index of silica cladding around 1550 nm."""
+
+N_AIR = 1.0
+"""Refractive index of air."""
+
+EPS_SI = N_SI**2
+"""Relative permittivity of silicon."""
+
+EPS_SIO2 = N_SIO2**2
+"""Relative permittivity of silica."""
+
+EPS_AIR = 1.0
+"""Relative permittivity of air."""
+
+DEFAULT_WAVELENGTH = 1.55
+"""Default operating wavelength in micrometres (C-band)."""
+
+# Thermo-optic coefficient of silicon [1/K]; used by the thermo-optic switch
+# device and the temperature-drift variation model.
+DN_DT_SI = 1.8e-4
+
+# Wavelengths used by the wavelength-division-multiplexer device (micrometres).
+WDM_WAVELENGTHS = (1.53, 1.57)
+
+
+def wavelength_to_omega(wavelength_um: float) -> float:
+    """Convert a free-space wavelength in micrometres to angular frequency.
+
+    Parameters
+    ----------
+    wavelength_um:
+        Free-space wavelength in micrometres.
+
+    Returns
+    -------
+    float
+        Angular frequency ``omega = 2*pi*c0/lambda`` in rad/s.
+    """
+    if wavelength_um <= 0:
+        raise ValueError(f"wavelength must be positive, got {wavelength_um}")
+    return 2.0 * math.pi * C_0 / (wavelength_um * MICROMETRE)
+
+
+def omega_to_wavelength(omega: float) -> float:
+    """Convert an angular frequency in rad/s back to wavelength in micrometres."""
+    if omega <= 0:
+        raise ValueError(f"omega must be positive, got {omega}")
+    return 2.0 * math.pi * C_0 / omega / MICROMETRE

@@ -1,0 +1,43 @@
+"""MAPS-Data: dataset acquisition for AI-assisted photonic design.
+
+The subpackage provides
+
+* configurable sampling strategies (:mod:`repro.data.sampling`) — random
+  patterns, optimization-trajectory sampling and perturbed-trajectory
+  sampling,
+* rich label extraction (:mod:`repro.data.labels`) — fields, S-parameters,
+  fluxes, figures of merit, adjoint gradients and Maxwell residuals for every
+  sample,
+* multi-fidelity dataset generation (:mod:`repro.data.generator`) — the same
+  designs simulated at coarse and fine mesh,
+* dataset containers with device-level splits and on-disk storage
+  (:mod:`repro.data.dataset`), and
+* distribution analysis utilities used to reproduce Fig. 5
+  (:mod:`repro.data.analysis`).
+"""
+
+from repro.data.labels import RichLabels, extract_labels, standardize_input
+from repro.data.sampling import (
+    SamplingStrategy,
+    RandomSampling,
+    OptTrajSampling,
+    PerturbedOptTrajSampling,
+    make_sampler,
+)
+from repro.data.generator import DatasetGenerator
+from repro.data.dataset import PhotonicDataset, Sample, split_dataset
+
+__all__ = [
+    "RichLabels",
+    "extract_labels",
+    "standardize_input",
+    "SamplingStrategy",
+    "RandomSampling",
+    "OptTrajSampling",
+    "PerturbedOptTrajSampling",
+    "make_sampler",
+    "DatasetGenerator",
+    "PhotonicDataset",
+    "Sample",
+    "split_dataset",
+]

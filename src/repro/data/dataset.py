@@ -1,0 +1,260 @@
+"""Dataset containers, device-level splits and on-disk storage.
+
+A :class:`PhotonicDataset` is a list of :class:`Sample` records sharing one
+grid shape.  Splitting is *hierarchical* in the MAPS-Train sense: all samples
+derived from the same design pattern (e.g. different ports, states or fidelity
+levels of one structure) stay in the same split, which prevents test-set
+leakage through near-identical structures.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.labels import RichLabels, field_target, standardize_input
+from repro.utils.rng import get_rng
+
+
+@dataclass
+class Sample:
+    """One dataset entry: standardized model input, field target and labels."""
+
+    inputs: np.ndarray
+    target: np.ndarray
+    density: np.ndarray
+    device_name: str
+    spec_index: int
+    wavelength: float
+    dl: float
+    figure_of_merit: float
+    transmission: float
+    stage: str
+    fidelity: str
+    design_id: int
+    adjoint_gradient: np.ndarray | None = None
+    source: np.ndarray | None = None
+    eps_r: np.ndarray | None = None
+
+    @property
+    def grid_shape(self) -> tuple[int, int]:
+        return self.inputs.shape[-2:]
+
+
+class PhotonicDataset:
+    """An in-memory dataset of photonic simulation samples.
+
+    Parameters
+    ----------
+    samples:
+        The sample list (may be empty and filled incrementally).
+    field_scale:
+        Global scale applied to the field targets; stored so predictions can be
+        mapped back to physical fields.
+    metadata:
+        Free-form provenance information (device, strategy, fidelity, seed...).
+    """
+
+    def __init__(
+        self,
+        samples: list[Sample] | None = None,
+        field_scale: float = 1.0,
+        metadata: dict | None = None,
+    ):
+        self.samples: list[Sample] = list(samples or [])
+        self.field_scale = float(field_scale)
+        self.metadata: dict = dict(metadata or {})
+
+    # -- container protocol -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __getitem__(self, index: int) -> Sample:
+        return self.samples[index]
+
+    def __iter__(self):
+        return iter(self.samples)
+
+    def append(self, sample: Sample) -> None:
+        self.samples.append(sample)
+
+    # -- construction from rich labels -----------------------------------------------
+    @classmethod
+    def from_labels(
+        cls,
+        labels: list[RichLabels],
+        design_ids: list[int],
+        field_scale: float | None = None,
+        metadata: dict | None = None,
+    ) -> "PhotonicDataset":
+        """Build a dataset from rich labels, computing the global field scale."""
+        if len(labels) != len(design_ids):
+            raise ValueError("labels and design_ids must have the same length")
+        if field_scale is None:
+            if labels:
+                field_scale = float(
+                    np.median([np.std(np.abs(lab.ez)) for lab in labels]) or 1.0
+                )
+            else:
+                field_scale = 1.0
+        dataset = cls(field_scale=field_scale, metadata=metadata)
+        for lab, design_id in zip(labels, design_ids):
+            dataset.append(
+                Sample(
+                    inputs=standardize_input(lab.eps_r, lab.source, lab.wavelength, lab.dl),
+                    target=field_target(lab.ez, field_scale, source=lab.source),
+                    density=lab.density,
+                    device_name=lab.device_name,
+                    spec_index=lab.spec_index,
+                    wavelength=lab.wavelength,
+                    dl=lab.dl,
+                    figure_of_merit=lab.figure_of_merit,
+                    transmission=lab.total_transmission(),
+                    stage=lab.stage,
+                    fidelity=lab.fidelity,
+                    design_id=int(design_id),
+                    adjoint_gradient=lab.adjoint_gradient,
+                    source=lab.source,
+                    eps_r=lab.eps_r,
+                )
+            )
+        return dataset
+
+    # -- batching ------------------------------------------------------------------------
+    def input_array(self) -> np.ndarray:
+        """All inputs stacked into ``(N, C, H, W)``."""
+        return np.stack([s.inputs for s in self.samples], axis=0)
+
+    def target_array(self) -> np.ndarray:
+        """All field targets stacked into ``(N, 2, H, W)``."""
+        return np.stack([s.target for s in self.samples], axis=0)
+
+    def transmission_array(self) -> np.ndarray:
+        """Scalar transmission labels, ``(N,)``."""
+        return np.array([s.transmission for s in self.samples])
+
+    def fom_array(self) -> np.ndarray:
+        """Scalar figure-of-merit labels, ``(N,)``."""
+        return np.array([s.figure_of_merit for s in self.samples])
+
+    def batches(self, batch_size: int, shuffle: bool = True, rng=None):
+        """Yield ``(inputs, targets, indices)`` mini-batches as NumPy arrays."""
+        if batch_size <= 0:
+            raise ValueError(f"batch size must be positive, got {batch_size}")
+        order = np.arange(len(self.samples))
+        if shuffle:
+            get_rng(rng).shuffle(order)
+        for start in range(0, len(order), batch_size):
+            chunk = order[start : start + batch_size]
+            inputs = np.stack([self.samples[i].inputs for i in chunk], axis=0)
+            targets = np.stack([self.samples[i].target for i in chunk], axis=0)
+            yield inputs, targets, chunk
+
+    def filter(self, predicate) -> "PhotonicDataset":
+        """Dataset with the samples for which ``predicate(sample)`` is True."""
+        return PhotonicDataset(
+            [s for s in self.samples if predicate(s)],
+            field_scale=self.field_scale,
+            metadata=dict(self.metadata),
+        )
+
+    # -- persistence ---------------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Save to a compressed ``.npz`` file (arrays) plus embedded JSON metadata."""
+        path = Path(path)
+        arrays: dict[str, np.ndarray] = {}
+        scalar_records = []
+        for i, sample in enumerate(self.samples):
+            arrays[f"inputs_{i}"] = sample.inputs
+            arrays[f"target_{i}"] = sample.target
+            arrays[f"density_{i}"] = sample.density
+            if sample.adjoint_gradient is not None:
+                arrays[f"adjgrad_{i}"] = sample.adjoint_gradient
+            if sample.source is not None:
+                arrays[f"source_{i}"] = sample.source
+            if sample.eps_r is not None:
+                arrays[f"eps_{i}"] = sample.eps_r
+            scalar_records.append(
+                {
+                    "device_name": sample.device_name,
+                    "spec_index": sample.spec_index,
+                    "wavelength": sample.wavelength,
+                    "dl": sample.dl,
+                    "figure_of_merit": sample.figure_of_merit,
+                    "transmission": sample.transmission,
+                    "stage": sample.stage,
+                    "fidelity": sample.fidelity,
+                    "design_id": sample.design_id,
+                }
+            )
+        header = {
+            "num_samples": len(self.samples),
+            "field_scale": self.field_scale,
+            "metadata": self.metadata,
+            "records": scalar_records,
+        }
+        arrays["__header__"] = np.frombuffer(
+            json.dumps(header, default=str).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PhotonicDataset":
+        """Load a dataset saved by :meth:`save`."""
+        path = Path(path)
+        with np.load(path, allow_pickle=False) as archive:
+            header = json.loads(bytes(archive["__header__"].tobytes()).decode("utf-8"))
+            samples = []
+            for i, record in enumerate(header["records"]):
+                samples.append(
+                    Sample(
+                        inputs=archive[f"inputs_{i}"],
+                        target=archive[f"target_{i}"],
+                        density=archive[f"density_{i}"],
+                        adjoint_gradient=archive[f"adjgrad_{i}"]
+                        if f"adjgrad_{i}" in archive
+                        else None,
+                        source=archive[f"source_{i}"] if f"source_{i}" in archive else None,
+                        eps_r=archive[f"eps_{i}"] if f"eps_{i}" in archive else None,
+                        **record,
+                    )
+                )
+        return cls(samples, field_scale=header["field_scale"], metadata=header["metadata"])
+
+
+def split_dataset(
+    dataset: PhotonicDataset,
+    train_fraction: float = 0.7,
+    val_fraction: float = 0.0,
+    rng=None,
+) -> tuple[PhotonicDataset, ...]:
+    """Device-level (design-level) split into train / (val) / test.
+
+    All samples sharing a ``design_id`` land in the same split — the
+    hierarchical data-loader requirement of MAPS-Train that prevents test-set
+    leakage between samples of the same structure.
+    """
+    if not 0.0 < train_fraction <= 1.0:
+        raise ValueError(f"train fraction must be in (0, 1], got {train_fraction}")
+    if val_fraction < 0.0 or train_fraction + val_fraction > 1.0:
+        raise ValueError("fractions must satisfy train + val <= 1")
+    design_ids = sorted({s.design_id for s in dataset})
+    order = np.array(design_ids)
+    get_rng(rng).shuffle(order)
+    n_train = int(round(train_fraction * len(order)))
+    n_val = int(round(val_fraction * len(order)))
+    train_ids = set(order[:n_train].tolist())
+    val_ids = set(order[n_train : n_train + n_val].tolist())
+
+    train = dataset.filter(lambda s: s.design_id in train_ids)
+    if val_fraction > 0:
+        val = dataset.filter(lambda s: s.design_id in val_ids)
+        test = dataset.filter(
+            lambda s: s.design_id not in train_ids and s.design_id not in val_ids
+        )
+        return train, val, test
+    test = dataset.filter(lambda s: s.design_id not in train_ids)
+    return train, test

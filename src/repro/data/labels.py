@@ -1,0 +1,172 @@
+"""Rich label extraction for dataset samples.
+
+For every (design, excitation) pair MAPS-Data stores much more than the field
+map: transmission/reflection/radiation figures, S-parameters, the adjoint
+gradient under the device objective, the injected source and the Maxwell
+residual.  Rich labels let one dataset serve many learning tasks (black-box
+S-parameter regression, field prediction, gradient supervision,
+physics-informed residual losses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.devices.base import Device, TargetSpec
+from repro.invdes.adjoint import evaluate_spec
+
+
+@dataclass
+class RichLabels:
+    """All labels attached to one (design, excitation) sample."""
+
+    device_name: str
+    spec_index: int
+    wavelength: float
+    dl: float
+    density: np.ndarray
+    eps_r: np.ndarray
+    source: np.ndarray
+    ez: np.ndarray
+    hx: np.ndarray
+    hy: np.ndarray
+    transmissions: dict[str, float]
+    s_params: dict[str, complex]
+    objective_value: float
+    figure_of_merit: float
+    radiation: float
+    adjoint_gradient: np.ndarray | None = None
+    maxwell_residual: float = 0.0
+    fidelity: str = "low"
+    stage: str = "unknown"
+    extras: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def grid_shape(self) -> tuple[int, int]:
+        return self.ez.shape
+
+    def total_transmission(self) -> float:
+        return float(sum(self.transmissions.values()))
+
+
+def extract_labels(
+    device: Device,
+    density: np.ndarray,
+    spec: TargetSpec | int = 0,
+    with_gradient: bool = True,
+    fidelity: str | None = None,
+    stage: str = "unknown",
+) -> RichLabels:
+    """Simulate one design under one excitation spec and extract all labels.
+
+    Parameters
+    ----------
+    device:
+        The benchmark device (determines grid, ports and objective).
+    density:
+        Design density on the design region.
+    spec:
+        The excitation spec or its index in ``device.specs``.
+    with_gradient:
+        Include the adjoint gradient of the device objective (doubles the cost
+        of the sample: one extra linear solve).
+    fidelity:
+        Fidelity tag stored with the sample (defaults to the device fidelity).
+    stage:
+        Free-form tag describing where the sample came from (e.g.
+        ``"random"``, ``"opt-traj:12"``, ``"perturbed"``).
+    """
+    if isinstance(spec, int):
+        spec_index = spec
+        spec = device.specs[spec]
+    else:
+        spec_index = device.specs.index(spec)
+
+    evaluation = evaluate_spec(device, density, spec, compute_gradient=with_gradient)
+    result = evaluation.result
+    eps_r = device.apply_state(device.eps_with_design(density), spec.state)
+
+    # Figure of merit restricted to this spec, normalized like Device.figure_of_merit.
+    positive = max(sum(w for w in spec.port_weights.values() if w > 0), 1e-12)
+    weighted = sum(
+        w * result.transmissions.get(p, 0.0) for p, w in spec.port_weights.items()
+    )
+    fom = float(weighted / positive)
+
+    sim = device.simulation(density, wavelength=spec.wavelength, state=spec.state)
+    residual = sim.maxwell_residual(result)
+
+    return RichLabels(
+        device_name=device.name,
+        spec_index=spec_index,
+        wavelength=spec.wavelength,
+        dl=device.dl,
+        density=np.asarray(density, dtype=float).copy(),
+        eps_r=np.asarray(eps_r, dtype=float),
+        source=result.source,
+        ez=result.ez,
+        hx=result.hx,
+        hy=result.hy,
+        transmissions=dict(result.transmissions),
+        s_params=dict(result.s_params),
+        objective_value=evaluation.objective_value,
+        figure_of_merit=fom,
+        radiation=result.radiation,
+        adjoint_gradient=evaluation.grad_density if with_gradient else None,
+        maxwell_residual=residual,
+        fidelity=fidelity if fidelity is not None else device.fidelity,
+        stage=stage,
+    )
+
+
+def standardize_input(
+    eps_r: np.ndarray,
+    source: np.ndarray,
+    wavelength: float,
+    dl: float,
+    eps_max: float = 12.25,
+) -> np.ndarray:
+    """Standardized model input of MAPS-Train.
+
+    The models all consume the same representation: four real channels
+
+    1. relative permittivity scaled to ``[0, 1]``,
+    2. real part of the source current (unit max-amplitude),
+    3. imaginary part of the source current,
+    4. a constant channel encoding the grid resolution in wavelengths
+       (``dl / wavelength``), which is what lets a model generalize across
+       fidelity levels and wavelengths.
+    """
+    eps_r = np.asarray(eps_r, dtype=float)
+    source = np.asarray(source)
+    scale = np.max(np.abs(source))
+    if scale <= 0:
+        scale = 1.0
+    src = source / scale
+    resolution = np.full(eps_r.shape, dl / wavelength)
+    return np.stack(
+        [eps_r / eps_max, np.real(src), np.imag(src), resolution], axis=0
+    ).astype(np.float64)
+
+
+def field_target(
+    ez: np.ndarray, field_scale: float = 1.0, source: np.ndarray | None = None
+) -> np.ndarray:
+    """Model target: real/imaginary parts of ``Ez`` scaled to the model convention.
+
+    The field is divided by ``field_scale`` (a dataset-wide constant) and, when
+    the source is provided, by the source's maximum amplitude.  Together with
+    :func:`standardize_input` (which divides the source by the same amplitude)
+    this makes the learned map amplitude-invariant, so a trained model can be
+    applied to sources of any strength — in particular to adjoint sources —
+    by rescaling its output (see :class:`repro.surrogate.neural_solver.NeuralFieldBackend`).
+    """
+    ez = np.asarray(ez)
+    scale = float(field_scale)
+    if source is not None:
+        amplitude = float(np.max(np.abs(source)))
+        if amplitude > 0:
+            scale *= amplitude
+    return np.stack([ez.real, ez.imag], axis=0).astype(np.float64) / scale

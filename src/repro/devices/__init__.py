@@ -1,0 +1,40 @@
+"""Benchmark photonic devices of MAPS-Data.
+
+The library covers the device families listed in the paper, from basic to
+multiplexed to active:
+
+* :class:`~repro.devices.bend.WaveguideBend` — 90-degree waveguide bend,
+* :class:`~repro.devices.crossing.WaveguideCrossing` — waveguide crossing,
+* :class:`~repro.devices.diode.OpticalDiode` — asymmetric-transmission device,
+* :class:`~repro.devices.wdm.WavelengthDemultiplexer` — 2-channel WDM,
+* :class:`~repro.devices.mdm.ModeDemultiplexer` — 2-mode MDM,
+* :class:`~repro.devices.tos.ThermoOpticSwitch` — active thermo-optic switch.
+
+Each device owns its simulation grid, background permittivity (waveguides +
+cladding), a rectangular design region, ports and a list of excitation/target
+specifications that define both the inverse-design objective and the
+figure-of-merit labels of the dataset.
+"""
+
+from repro.devices.base import Device, DeviceGeometry, TargetSpec
+from repro.devices.bend import WaveguideBend
+from repro.devices.crossing import WaveguideCrossing
+from repro.devices.diode import OpticalDiode
+from repro.devices.wdm import WavelengthDemultiplexer
+from repro.devices.mdm import ModeDemultiplexer
+from repro.devices.tos import ThermoOpticSwitch
+from repro.devices.factory import make_device, available_devices
+
+__all__ = [
+    "Device",
+    "DeviceGeometry",
+    "TargetSpec",
+    "WaveguideBend",
+    "WaveguideCrossing",
+    "OpticalDiode",
+    "WavelengthDemultiplexer",
+    "ModeDemultiplexer",
+    "ThermoOpticSwitch",
+    "make_device",
+    "available_devices",
+]

@@ -1,0 +1,84 @@
+"""Waveguide crossing — transmit straight through while suppressing crosstalk."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DEFAULT_WAVELENGTH, EPS_SI, EPS_SIO2
+from repro.devices.base import (
+    Device,
+    DeviceGeometry,
+    TargetSpec,
+    add_horizontal_waveguide,
+    add_vertical_waveguide,
+    centered_design_slice,
+    make_grid,
+)
+from repro.fdfd.monitors import Port
+
+
+class WaveguideCrossing(Device):
+    """Crossing of two single-mode waveguides.
+
+    The objective is full transmission from the left port to the right port
+    with minimal leakage into the orthogonal (top/bottom) waveguide arms.
+    """
+
+    name = "crossing"
+
+    def __init__(
+        self,
+        fidelity: str = "low",
+        dl: float | None = None,
+        domain: float = 4.0,
+        design_size: float = 2.0,
+        wg_width: float = 0.48,
+        wavelength: float = DEFAULT_WAVELENGTH,
+        crosstalk_penalty: float = 0.5,
+    ):
+        self.domain = domain
+        self.design_size = design_size
+        self.wg_width = wg_width
+        self.wavelength = wavelength
+        self.crosstalk_penalty = crosstalk_penalty
+        super().__init__(fidelity=fidelity, dl=dl)
+
+    def _build_geometry(self, dl: float) -> DeviceGeometry:
+        grid = make_grid(self.domain, self.domain, dl)
+        eps = np.full(grid.shape, EPS_SIO2)
+        cx, cy = grid.size_x / 2, grid.size_y / 2
+
+        add_horizontal_waveguide(eps, grid, y_center=cy, width=self.wg_width)
+        add_vertical_waveguide(eps, grid, x_center=cx, width=self.wg_width)
+
+        design = centered_design_slice(grid, self.design_size, self.design_size)
+        margin = (grid.npml + 3) * grid.dl
+        span = 3.0 * self.wg_width
+        ports = [
+            Port("in", "x", position=margin, center=cy, span=span, direction=+1),
+            Port("out", "x", position=grid.size_x - margin, center=cy, span=span, direction=+1),
+            Port("top", "y", position=grid.size_y - margin, center=cx, span=span, direction=+1),
+            Port("bottom", "y", position=margin, center=cx, span=span, direction=-1),
+        ]
+        return DeviceGeometry(
+            grid=grid,
+            eps_background=eps,
+            design_slice=design,
+            ports=ports,
+            eps_core=EPS_SI,
+            eps_clad=EPS_SIO2,
+        )
+
+    def _build_specs(self) -> list[TargetSpec]:
+        return [
+            TargetSpec(
+                source_port="in",
+                source_mode=0,
+                wavelength=self.wavelength,
+                port_weights={
+                    "out": 1.0,
+                    "top": -self.crosstalk_penalty,
+                    "bottom": -self.crosstalk_penalty,
+                },
+            )
+        ]

@@ -1,0 +1,100 @@
+"""Optical diode — asymmetric transmission between forward and backward excitation.
+
+In a linear, reciprocal structure true isolation is impossible; like the
+inverse-design literature, the "optical diode" benchmark targets asymmetric
+mode conversion: high fundamental-mode transmission in the forward direction
+and suppressed fundamental-mode transmission for backward excitation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DEFAULT_WAVELENGTH, EPS_SI, EPS_SIO2
+from repro.devices.base import (
+    Device,
+    DeviceGeometry,
+    TargetSpec,
+    add_horizontal_waveguide,
+    centered_design_slice,
+    make_grid,
+)
+from repro.fdfd.monitors import Port
+
+
+class OpticalDiode(Device):
+    """Asymmetric-transmission device on a straight through-waveguide."""
+
+    name = "optical_diode"
+
+    def __init__(
+        self,
+        fidelity: str = "low",
+        dl: float | None = None,
+        domain: float = 4.0,
+        design_size: float = 2.0,
+        wg_width_in: float = 0.48,
+        wg_width_out: float = 0.8,
+        wavelength: float = DEFAULT_WAVELENGTH,
+        backward_penalty: float = 0.5,
+    ):
+        self.domain = domain
+        self.design_size = design_size
+        self.wg_width_in = wg_width_in
+        self.wg_width_out = wg_width_out
+        self.wavelength = wavelength
+        self.backward_penalty = backward_penalty
+        super().__init__(fidelity=fidelity, dl=dl)
+
+    def _build_geometry(self, dl: float) -> DeviceGeometry:
+        grid = make_grid(self.domain, self.domain, dl)
+        eps = np.full(grid.shape, EPS_SIO2)
+        cx, cy = grid.size_x / 2, grid.size_y / 2
+
+        # Narrow single-mode input on the left, wider multi-mode output on the
+        # right: the width asymmetry is what makes asymmetric mode conversion
+        # physically possible.
+        add_horizontal_waveguide(eps, grid, y_center=cy, width=self.wg_width_in, x_stop=cx)
+        add_horizontal_waveguide(eps, grid, y_center=cy, width=self.wg_width_out, x_start=cx)
+
+        design = centered_design_slice(grid, self.design_size, self.design_size)
+        margin = (grid.npml + 3) * grid.dl
+        ports = [
+            Port("in", "x", position=margin, center=cy, span=3.0 * self.wg_width_in, direction=+1),
+            Port(
+                "out",
+                "x",
+                position=grid.size_x - margin,
+                center=cy,
+                span=3.0 * self.wg_width_out,
+                direction=+1,
+            ),
+        ]
+        return DeviceGeometry(
+            grid=grid,
+            eps_background=eps,
+            design_slice=design,
+            ports=ports,
+            eps_core=EPS_SI,
+            eps_clad=EPS_SIO2,
+        )
+
+    def _build_specs(self) -> list[TargetSpec]:
+        return [
+            # Forward: maximize transmission into the output waveguide.
+            TargetSpec(
+                source_port="in",
+                source_mode=0,
+                wavelength=self.wavelength,
+                port_weights={"out": 1.0},
+                weight=1.0,
+            ),
+            # Backward: penalize power returning into the input waveguide.
+            TargetSpec(
+                source_port="out",
+                source_mode=0,
+                wavelength=self.wavelength,
+                port_weights={"in": -1.0},
+                weight=self.backward_penalty,
+            ),
+        ]

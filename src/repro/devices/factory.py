@@ -1,0 +1,49 @@
+"""Device registry: build benchmark devices by name."""
+
+from __future__ import annotations
+
+from repro.devices.base import Device
+from repro.devices.bend import WaveguideBend
+from repro.devices.crossing import WaveguideCrossing
+from repro.devices.diode import OpticalDiode
+from repro.devices.mdm import ModeDemultiplexer
+from repro.devices.tos import ThermoOpticSwitch
+from repro.devices.wdm import WavelengthDemultiplexer
+
+_REGISTRY: dict[str, type[Device]] = {
+    "bending": WaveguideBend,
+    "bend": WaveguideBend,
+    "crossing": WaveguideCrossing,
+    "optical_diode": OpticalDiode,
+    "diode": OpticalDiode,
+    "wdm": WavelengthDemultiplexer,
+    "mdm": ModeDemultiplexer,
+    "tos": ThermoOpticSwitch,
+}
+
+# Canonical names as used in the paper's tables (aliases excluded).
+CANONICAL_DEVICES = ("bending", "crossing", "optical_diode", "mdm", "wdm", "tos")
+
+
+def available_devices() -> list[str]:
+    """Names of the benchmark devices (canonical names, no aliases)."""
+    return list(CANONICAL_DEVICES)
+
+
+def make_device(name: str, fidelity: str = "low", **kwargs) -> Device:
+    """Instantiate a benchmark device by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_devices` (a few aliases such as ``"bend"`` and
+        ``"diode"`` are accepted).
+    fidelity:
+        ``"high"`` or ``"low"`` simulation fidelity (cell size).
+    kwargs:
+        Forwarded to the device constructor (domain size, waveguide width, ...).
+    """
+    key = name.lower().strip()
+    if key not in _REGISTRY:
+        raise ValueError(f"unknown device {name!r}; available: {available_devices()}")
+    return _REGISTRY[key](fidelity=fidelity, **kwargs)

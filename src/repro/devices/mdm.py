@@ -1,0 +1,106 @@
+"""Two-channel mode-division (de)multiplexer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DEFAULT_WAVELENGTH, EPS_SI, EPS_SIO2
+from repro.devices.base import (
+    Device,
+    DeviceGeometry,
+    TargetSpec,
+    add_horizontal_waveguide,
+    centered_design_slice,
+    make_grid,
+)
+from repro.fdfd.monitors import Port
+
+
+class ModeDemultiplexer(Device):
+    """Separate the two guided modes of a wide input waveguide to two outputs.
+
+    The fundamental mode of the wide input bus should exit through the upper
+    single-mode output; the first higher-order mode should exit through the
+    lower output.
+    """
+
+    name = "mdm"
+
+    def __init__(
+        self,
+        fidelity: str = "low",
+        dl: float | None = None,
+        domain: float = 4.0,
+        design_size: float = 2.2,
+        bus_width: float = 1.0,
+        wg_width: float = 0.48,
+        output_offset: float = 0.9,
+        wavelength: float = DEFAULT_WAVELENGTH,
+        crosstalk_penalty: float = 0.3,
+    ):
+        self.domain = domain
+        self.design_size = design_size
+        self.bus_width = bus_width
+        self.wg_width = wg_width
+        self.output_offset = output_offset
+        self.wavelength = wavelength
+        self.crosstalk_penalty = crosstalk_penalty
+        super().__init__(fidelity=fidelity, dl=dl)
+
+    def _build_geometry(self, dl: float) -> DeviceGeometry:
+        grid = make_grid(self.domain, self.domain, dl)
+        eps = np.full(grid.shape, EPS_SIO2)
+        cx, cy = grid.size_x / 2, grid.size_y / 2
+        y_up = cy + self.output_offset
+        y_down = cy - self.output_offset
+
+        # Wide multi-mode bus on the left, two single-mode outputs on the right.
+        add_horizontal_waveguide(eps, grid, y_center=cy, width=self.bus_width, x_stop=cx)
+        add_horizontal_waveguide(eps, grid, y_center=y_up, width=self.wg_width, x_start=cx)
+        add_horizontal_waveguide(eps, grid, y_center=y_down, width=self.wg_width, x_start=cx)
+
+        design = centered_design_slice(grid, self.design_size, self.design_size)
+        margin = (grid.npml + 3) * grid.dl
+        ports = [
+            Port("in", "x", position=margin, center=cy, span=2.5 * self.bus_width, direction=+1),
+            Port(
+                "out1",
+                "x",
+                position=grid.size_x - margin,
+                center=y_up,
+                span=3.0 * self.wg_width,
+                direction=+1,
+            ),
+            Port(
+                "out2",
+                "x",
+                position=grid.size_x - margin,
+                center=y_down,
+                span=3.0 * self.wg_width,
+                direction=+1,
+            ),
+        ]
+        return DeviceGeometry(
+            grid=grid,
+            eps_background=eps,
+            design_slice=design,
+            ports=ports,
+            eps_core=EPS_SI,
+            eps_clad=EPS_SIO2,
+        )
+
+    def _build_specs(self) -> list[TargetSpec]:
+        return [
+            TargetSpec(
+                source_port="in",
+                source_mode=0,
+                wavelength=self.wavelength,
+                port_weights={"out1": 1.0, "out2": -self.crosstalk_penalty},
+            ),
+            TargetSpec(
+                source_port="in",
+                source_mode=1,
+                wavelength=self.wavelength,
+                port_weights={"out2": 1.0, "out1": -self.crosstalk_penalty},
+            ),
+        ]

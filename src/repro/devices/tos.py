@@ -1,0 +1,132 @@
+"""Active thermo-optic switch (TOS).
+
+The device is a 1x2 switch: a heater above part of the design region shifts
+the local refractive index and re-routes light from the "bar" output to the
+"cross" output.  The heater-induced permittivity change is exaggerated
+relative to the physical thermo-optic coefficient of silicon so that a
+wavelength-scale device can switch — the paper's devices are larger; the
+substitution is documented in DESIGN.md and keeps the *active device* code
+path (state-dependent permittivity, multi-state objectives) fully exercised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DEFAULT_WAVELENGTH, DN_DT_SI, EPS_SI, EPS_SIO2, N_SI
+from repro.devices.base import (
+    Device,
+    DeviceGeometry,
+    TargetSpec,
+    add_horizontal_waveguide,
+    centered_design_slice,
+    make_grid,
+)
+from repro.fdfd.monitors import Port
+
+
+class ThermoOpticSwitch(Device):
+    """Active 1x2 thermo-optic switch.
+
+    ``state={"heater": 0.0}`` routes light to the upper output ("bar" state),
+    ``state={"heater": 1.0}`` routes it to the lower output ("cross" state).
+    """
+
+    name = "tos"
+
+    def __init__(
+        self,
+        fidelity: str = "low",
+        dl: float | None = None,
+        domain: float = 4.0,
+        design_size: float = 2.2,
+        wg_width: float = 0.48,
+        output_offset: float = 0.9,
+        wavelength: float = DEFAULT_WAVELENGTH,
+        heater_delta_eps: float = 0.8,
+        crosstalk_penalty: float = 0.3,
+    ):
+        self.domain = domain
+        self.design_size = design_size
+        self.wg_width = wg_width
+        self.output_offset = output_offset
+        self.wavelength = wavelength
+        self.heater_delta_eps = heater_delta_eps
+        self.crosstalk_penalty = crosstalk_penalty
+        super().__init__(fidelity=fidelity, dl=dl)
+
+    # -- geometry -----------------------------------------------------------------
+    def _build_geometry(self, dl: float) -> DeviceGeometry:
+        grid = make_grid(self.domain, self.domain, dl)
+        eps = np.full(grid.shape, EPS_SIO2)
+        cx, cy = grid.size_x / 2, grid.size_y / 2
+        y_up = cy + self.output_offset
+        y_down = cy - self.output_offset
+
+        add_horizontal_waveguide(eps, grid, y_center=cy, width=self.wg_width, x_stop=cx)
+        add_horizontal_waveguide(eps, grid, y_center=y_up, width=self.wg_width, x_start=cx)
+        add_horizontal_waveguide(eps, grid, y_center=y_down, width=self.wg_width, x_start=cx)
+
+        design = centered_design_slice(grid, self.design_size, self.design_size)
+        margin = (grid.npml + 3) * grid.dl
+        span = 3.0 * self.wg_width
+        ports = [
+            Port("in", "x", position=margin, center=cy, span=span, direction=+1),
+            Port("out1", "x", position=grid.size_x - margin, center=y_up, span=span, direction=+1),
+            Port("out2", "x", position=grid.size_x - margin, center=y_down, span=span, direction=+1),
+        ]
+        return DeviceGeometry(
+            grid=grid,
+            eps_background=eps,
+            design_slice=design,
+            ports=ports,
+            eps_core=EPS_SI,
+            eps_clad=EPS_SIO2,
+        )
+
+    # -- active-state handling ---------------------------------------------------------
+    def heater_slice(self) -> tuple[slice, slice]:
+        """The heater covers the upper half of the design region."""
+        sx, sy = self.geometry.design_slice
+        mid = (sy.start + sy.stop) // 2
+        return sx, slice(mid, sy.stop)
+
+    def apply_state(self, eps_r: np.ndarray, state: dict[str, float]) -> np.ndarray:
+        """Shift the permittivity under the heater proportionally to the drive level."""
+        unknown = set(state) - {"heater"}
+        if unknown:
+            raise ValueError(f"unsupported state keys for {self.name}: {sorted(unknown)}")
+        drive = float(state.get("heater", 0.0))
+        if drive == 0.0:
+            return eps_r
+        eps = np.array(eps_r, copy=True)
+        eps[self.heater_slice()] += drive * self.heater_delta_eps
+        return eps
+
+    @staticmethod
+    def equivalent_temperature_shift(delta_eps: float) -> float:
+        """Temperature rise (K) that would produce ``delta_eps`` in bulk silicon.
+
+        Provided for documentation: the exaggerated ``heater_delta_eps`` maps to
+        an unphysically large temperature in a real device; see DESIGN.md.
+        """
+        return delta_eps / (2.0 * N_SI * DN_DT_SI)
+
+    # -- objective ------------------------------------------------------------------------
+    def _build_specs(self) -> list[TargetSpec]:
+        return [
+            TargetSpec(
+                source_port="in",
+                source_mode=0,
+                wavelength=self.wavelength,
+                port_weights={"out1": 1.0, "out2": -self.crosstalk_penalty},
+                state={"heater": 0.0},
+            ),
+            TargetSpec(
+                source_port="in",
+                source_mode=0,
+                wavelength=self.wavelength,
+                port_weights={"out2": 1.0, "out1": -self.crosstalk_penalty},
+                state={"heater": 1.0},
+            ),
+        ]

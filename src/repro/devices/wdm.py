@@ -1,0 +1,87 @@
+"""Two-channel wavelength-division (de)multiplexer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import EPS_SI, EPS_SIO2, WDM_WAVELENGTHS
+from repro.devices.base import (
+    Device,
+    DeviceGeometry,
+    TargetSpec,
+    add_horizontal_waveguide,
+    centered_design_slice,
+    make_grid,
+)
+from repro.fdfd.monitors import Port
+
+
+class WavelengthDemultiplexer(Device):
+    """Route two wavelength channels from one input to two output waveguides."""
+
+    name = "wdm"
+
+    def __init__(
+        self,
+        fidelity: str = "low",
+        dl: float | None = None,
+        domain: float = 4.0,
+        design_size: float = 2.2,
+        wg_width: float = 0.48,
+        output_offset: float = 0.9,
+        wavelengths: tuple[float, float] = WDM_WAVELENGTHS,
+        crosstalk_penalty: float = 0.3,
+    ):
+        self.domain = domain
+        self.design_size = design_size
+        self.wg_width = wg_width
+        self.output_offset = output_offset
+        self.channel_wavelengths = tuple(wavelengths)
+        self.crosstalk_penalty = crosstalk_penalty
+        super().__init__(fidelity=fidelity, dl=dl)
+
+    def _build_geometry(self, dl: float) -> DeviceGeometry:
+        grid = make_grid(self.domain, self.domain, dl)
+        eps = np.full(grid.shape, EPS_SIO2)
+        cx, cy = grid.size_x / 2, grid.size_y / 2
+        y_up = cy + self.output_offset
+        y_down = cy - self.output_offset
+
+        # One input feeding the design region, two outputs leaving it.
+        add_horizontal_waveguide(eps, grid, y_center=cy, width=self.wg_width, x_stop=cx)
+        add_horizontal_waveguide(eps, grid, y_center=y_up, width=self.wg_width, x_start=cx)
+        add_horizontal_waveguide(eps, grid, y_center=y_down, width=self.wg_width, x_start=cx)
+
+        design = centered_design_slice(grid, self.design_size, self.design_size)
+        margin = (grid.npml + 3) * grid.dl
+        span = 3.0 * self.wg_width
+        ports = [
+            Port("in", "x", position=margin, center=cy, span=span, direction=+1),
+            Port("out1", "x", position=grid.size_x - margin, center=y_up, span=span, direction=+1),
+            Port("out2", "x", position=grid.size_x - margin, center=y_down, span=span, direction=+1),
+        ]
+        return DeviceGeometry(
+            grid=grid,
+            eps_background=eps,
+            design_slice=design,
+            ports=ports,
+            eps_core=EPS_SI,
+            eps_clad=EPS_SIO2,
+        )
+
+    def _build_specs(self) -> list[TargetSpec]:
+        lam1, lam2 = self.channel_wavelengths
+        return [
+            TargetSpec(
+                source_port="in",
+                source_mode=0,
+                wavelength=lam1,
+                port_weights={"out1": 1.0, "out2": -self.crosstalk_penalty},
+            ),
+            TargetSpec(
+                source_port="in",
+                source_mode=0,
+                wavelength=lam2,
+                port_weights={"out2": 1.0, "out1": -self.crosstalk_penalty},
+            ),
+        ]

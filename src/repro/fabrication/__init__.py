@@ -1,0 +1,30 @@
+"""Fabrication and operation variation models for variation-aware inverse design.
+
+The paper integrates a differentiable lithography model and etching/operating
+variations into the optimization loop so that optimized devices remain
+performant across process corners.  This subpackage provides:
+
+* :class:`~repro.fabrication.lithography.LithographyModel` — differentiable
+  dose/defocus projection model (blur + threshold),
+* :class:`~repro.fabrication.etching.EtchModel` — over/under-etch bias as a
+  shifted-threshold projection,
+* :class:`~repro.fabrication.drift.WavelengthDrift` and
+  :class:`~repro.fabrication.drift.TemperatureDrift` — operating-condition
+  variations applied at simulation time,
+* :func:`~repro.fabrication.corners.standard_corners` — the corner set used by
+  robust (variation-aware) optimization.
+"""
+
+from repro.fabrication.lithography import LithographyModel
+from repro.fabrication.etching import EtchModel
+from repro.fabrication.drift import WavelengthDrift, TemperatureDrift
+from repro.fabrication.corners import FabricationCorner, standard_corners
+
+__all__ = [
+    "LithographyModel",
+    "EtchModel",
+    "WavelengthDrift",
+    "TemperatureDrift",
+    "FabricationCorner",
+    "standard_corners",
+]

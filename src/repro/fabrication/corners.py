@@ -1,0 +1,89 @@
+"""Process/operation corner definitions for variation-aware optimization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fabrication.drift import TemperatureDrift, WavelengthDrift
+from repro.fabrication.etching import EtchModel
+from repro.fabrication.lithography import LithographyModel
+from repro.parametrization.transforms import Transform, TransformPipeline
+
+
+@dataclass
+class FabricationCorner:
+    """One corner: a pattern transform plus operating-condition drifts.
+
+    Attributes
+    ----------
+    name:
+        Corner identifier ("nominal", "over_etch", ...).
+    pattern_transforms:
+        Differentiable transforms applied to the design density before
+        simulation (lithography at a defocus/dose corner, etch bias, ...).
+    wavelength_drift, temperature_drift:
+        Operating-condition shifts applied when simulating this corner.
+    weight:
+        Relative weight in the robust (expected-value) objective.
+    """
+
+    name: str
+    pattern_transforms: list[Transform] = field(default_factory=list)
+    wavelength_drift: WavelengthDrift = WavelengthDrift(0.0)
+    temperature_drift: TemperatureDrift = TemperatureDrift(0.0)
+    weight: float = 1.0
+
+    def pipeline(self) -> TransformPipeline:
+        """The corner's pattern transforms as a pipeline (possibly empty)."""
+        return TransformPipeline(list(self.pattern_transforms))
+
+
+def standard_corners(
+    litho_sigma_cells: float = 1.5,
+    etch_bias_cells: float = 1.0,
+    defocus_cells: float = 1.0,
+    dose_spread: float = 0.1,
+    wavelength_shift_um: float = 0.005,
+    temperature_shift_k: float = 20.0,
+) -> list[FabricationCorner]:
+    """The default corner set used by variation-aware inverse design.
+
+    Returns the nominal corner plus over/under-etch, defocus+dose corners and
+    operating-condition (wavelength, temperature) corners.  The nominal corner
+    carries double weight so the expected-value objective stays anchored to
+    nominal performance.
+    """
+    nominal_litho = LithographyModel(blur_sigma_cells=litho_sigma_cells)
+    return [
+        FabricationCorner(name="nominal", pattern_transforms=[nominal_litho], weight=2.0),
+        FabricationCorner(
+            name="over_etch",
+            pattern_transforms=[nominal_litho, EtchModel(bias_cells=+etch_bias_cells)],
+        ),
+        FabricationCorner(
+            name="under_etch",
+            pattern_transforms=[nominal_litho, EtchModel(bias_cells=-etch_bias_cells)],
+        ),
+        FabricationCorner(
+            name="defocus_overdose",
+            pattern_transforms=[
+                nominal_litho.with_corner(defocus=defocus_cells, dose=1.0 + dose_spread)
+            ],
+        ),
+        FabricationCorner(
+            name="defocus_underdose",
+            pattern_transforms=[
+                nominal_litho.with_corner(defocus=defocus_cells, dose=1.0 - dose_spread)
+            ],
+        ),
+        FabricationCorner(
+            name="wavelength_drift",
+            pattern_transforms=[nominal_litho],
+            wavelength_drift=WavelengthDrift(wavelength_shift_um),
+        ),
+        FabricationCorner(
+            name="temperature_drift",
+            pattern_transforms=[nominal_litho],
+            temperature_drift=TemperatureDrift(temperature_shift_k),
+        ),
+    ]

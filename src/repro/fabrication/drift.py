@@ -1,0 +1,53 @@
+"""Operating-condition variations: laser wavelength shift and temperature drift.
+
+Unlike the lithography/etch models, these do not modify the design pattern:
+they change the simulation conditions (wavelength, background permittivity)
+and are applied by the variation-aware optimizer when evaluating a corner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import DN_DT_SI, EPS_SIO2
+
+
+@dataclass(frozen=True)
+class WavelengthDrift:
+    """Shift of the operating wavelength (e.g. laser drift), in micrometres."""
+
+    delta_um: float = 0.0
+
+    def apply_wavelength(self, wavelength_um: float) -> float:
+        """Return the drifted operating wavelength."""
+        shifted = wavelength_um + self.delta_um
+        if shifted <= 0:
+            raise ValueError(f"drift {self.delta_um} gives non-positive wavelength")
+        return shifted
+
+
+@dataclass(frozen=True)
+class TemperatureDrift:
+    """Uniform temperature change of the device, in kelvin.
+
+    Silicon's thermo-optic coefficient shifts the refractive index of the core
+    material; the cladding coefficient is an order of magnitude smaller and is
+    neglected.  The permittivity perturbation is applied only where the
+    permittivity exceeds the cladding value (i.e. wherever there is core
+    material, including interpolated densities).
+    """
+
+    delta_kelvin: float = 0.0
+    dn_dt: float = DN_DT_SI
+
+    def apply_eps(self, eps_r: np.ndarray) -> np.ndarray:
+        """Return the permittivity map at the drifted temperature."""
+        if self.delta_kelvin == 0.0:
+            return np.asarray(eps_r)
+        eps_r = np.array(eps_r, dtype=float, copy=True)
+        core_like = eps_r > EPS_SIO2 + 1e-6
+        # d(eps)/dT = 2 n dn/dT with n = sqrt(eps) locally.
+        eps_r[core_like] += 2.0 * np.sqrt(eps_r[core_like]) * self.dn_dt * self.delta_kelvin
+        return eps_r

@@ -1,0 +1,32 @@
+"""A 2-D finite-difference frequency-domain (FDFD) Maxwell solver.
+
+The solver works with the Ez polarization (TM in the photonics convention:
+fields ``Ez``, ``Hx``, ``Hy``) on a uniform Yee grid with stretched-coordinate
+perfectly matched layers (SC-PML).  It provides:
+
+* sparse assembly of the Maxwell operator ``A(eps_r)``,
+* direct forward solves ``A e = b`` for arbitrary current sources,
+* a 1-D slab eigenmode solver for waveguide port sources and modal overlaps,
+* flux and S-parameter monitors,
+* adjoint solves and permittivity gradients for inverse design, and
+* a high-level :class:`~repro.fdfd.simulation.Simulation` facade used by the
+  device library, the dataset generator and the inverse-design toolkit.
+"""
+
+from repro.fdfd.grid import Grid
+from repro.fdfd.solver import FdfdSolver
+from repro.fdfd.modes import solve_slab_modes, ModeProfile
+from repro.fdfd.monitors import Port, poynting_flux_through_port, mode_overlap
+from repro.fdfd.simulation import Simulation, SimulationResult
+
+__all__ = [
+    "Grid",
+    "FdfdSolver",
+    "solve_slab_modes",
+    "ModeProfile",
+    "Port",
+    "poynting_flux_through_port",
+    "mode_overlap",
+    "Simulation",
+    "SimulationResult",
+]

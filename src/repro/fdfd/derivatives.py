@@ -1,0 +1,61 @@
+"""Sparse finite-difference derivative operators on the flattened 2-D grid.
+
+Arrays are flattened in C order (``index = ix * ny + iy``).  Forward and
+backward first-difference operators are built with Dirichlet boundaries and are
+scaled by the complex PML stretching factors of :mod:`repro.fdfd.pml`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.fdfd.grid import Grid
+from repro.fdfd.pml import sfactor_grids
+
+
+def _forward_diff_1d(n: int, dl_m: float) -> sp.csr_matrix:
+    """1-D forward difference ``(u[i+1] - u[i]) / dl`` with Dirichlet boundary."""
+    main = -np.ones(n)
+    upper = np.ones(n - 1)
+    return sp.diags([main, upper], [0, 1], format="csr") / dl_m
+
+
+def _backward_diff_1d(n: int, dl_m: float) -> sp.csr_matrix:
+    """1-D backward difference ``(u[i] - u[i-1]) / dl`` with Dirichlet boundary."""
+    main = np.ones(n)
+    lower = -np.ones(n - 1)
+    return sp.diags([main, lower], [0, -1], format="csr") / dl_m
+
+
+def derivative_operators(grid: Grid, omega: float) -> dict[str, sp.csr_matrix]:
+    """Build PML-stretched derivative operators for a grid at frequency ``omega``.
+
+    Returns
+    -------
+    dict
+        ``{"Dxf", "Dxb", "Dyf", "Dyb"}`` — sparse ``(N, N)`` matrices acting on
+        flattened fields, where ``N = grid.n_points``.
+    """
+    nx, ny = grid.shape
+    dl_m = grid.dl_m
+    identity_x = sp.identity(nx, format="csr")
+    identity_y = sp.identity(ny, format="csr")
+
+    d_xf = sp.kron(_forward_diff_1d(nx, dl_m), identity_y, format="csr")
+    d_xb = sp.kron(_backward_diff_1d(nx, dl_m), identity_y, format="csr")
+    d_yf = sp.kron(identity_x, _forward_diff_1d(ny, dl_m), format="csr")
+    d_yb = sp.kron(identity_x, _backward_diff_1d(ny, dl_m), format="csr")
+
+    sfac = sfactor_grids(omega, dl_m, grid.shape, grid.npml)
+    inv_sx_f = sp.diags(1.0 / sfac["sx_f"].ravel())
+    inv_sx_b = sp.diags(1.0 / sfac["sx_b"].ravel())
+    inv_sy_f = sp.diags(1.0 / sfac["sy_f"].ravel())
+    inv_sy_b = sp.diags(1.0 / sfac["sy_b"].ravel())
+
+    return {
+        "Dxf": (inv_sx_f @ d_xf).tocsr(),
+        "Dxb": (inv_sx_b @ d_xb).tocsr(),
+        "Dyf": (inv_sy_f @ d_yf).tocsr(),
+        "Dyb": (inv_sy_b @ d_yb).tocsr(),
+    }

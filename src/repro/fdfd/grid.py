@@ -1,0 +1,119 @@
+"""Uniform simulation grid with PML bookkeeping.
+
+The grid covers a rectangular physical domain in the x-y plane.  Arrays are
+indexed ``[ix, iy]`` and flattened in C order (``index = ix * ny + iy``), which
+fixes the layout used by the sparse derivative operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import MICROMETRE
+
+
+@dataclass(frozen=True)
+class Grid:
+    """Uniform 2-D grid.
+
+    Parameters
+    ----------
+    nx, ny:
+        Number of cells along x and y (including PML cells).
+    dl:
+        Cell size in micrometres (uniform in both directions).
+    npml:
+        Number of PML cells on each of the four boundaries.
+    """
+
+    nx: int
+    ny: int
+    dl: float
+    npml: int = 10
+
+    def __post_init__(self) -> None:
+        if self.nx <= 0 or self.ny <= 0:
+            raise ValueError(f"grid size must be positive, got {(self.nx, self.ny)}")
+        if self.dl <= 0:
+            raise ValueError(f"cell size must be positive, got {self.dl}")
+        if self.npml < 0:
+            raise ValueError(f"npml must be non-negative, got {self.npml}")
+        if 2 * self.npml >= min(self.nx, self.ny):
+            raise ValueError(
+                f"PML ({self.npml} cells per side) does not fit into grid {(self.nx, self.ny)}"
+            )
+
+    # -- basic geometry --------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Grid shape ``(nx, ny)``."""
+        return (self.nx, self.ny)
+
+    @property
+    def n_points(self) -> int:
+        """Total number of grid points."""
+        return self.nx * self.ny
+
+    @property
+    def dl_m(self) -> float:
+        """Cell size in metres."""
+        return self.dl * MICROMETRE
+
+    @property
+    def size_x(self) -> float:
+        """Physical domain size along x in micrometres."""
+        return self.nx * self.dl
+
+    @property
+    def size_y(self) -> float:
+        """Physical domain size along y in micrometres."""
+        return self.ny * self.dl
+
+    def x_coords(self) -> np.ndarray:
+        """Cell-centre x coordinates in micrometres."""
+        return (np.arange(self.nx) + 0.5) * self.dl
+
+    def y_coords(self) -> np.ndarray:
+        """Cell-centre y coordinates in micrometres."""
+        return (np.arange(self.ny) + 0.5) * self.dl
+
+    # -- index helpers -----------------------------------------------------------
+    def index_of(self, x_um: float, y_um: float) -> tuple[int, int]:
+        """Indices of the cell containing physical point ``(x_um, y_um)``."""
+        ix = int(np.clip(np.floor(x_um / self.dl), 0, self.nx - 1))
+        iy = int(np.clip(np.floor(y_um / self.dl), 0, self.ny - 1))
+        return ix, iy
+
+    def slice_x(self, x_start: float, x_stop: float) -> slice:
+        """Index slice covering ``[x_start, x_stop)`` in micrometres along x."""
+        lo = int(np.clip(np.round(x_start / self.dl), 0, self.nx))
+        hi = int(np.clip(np.round(x_stop / self.dl), 0, self.nx))
+        return slice(min(lo, hi), max(lo, hi))
+
+    def slice_y(self, y_start: float, y_stop: float) -> slice:
+        """Index slice covering ``[y_start, y_stop)`` in micrometres along y."""
+        lo = int(np.clip(np.round(y_start / self.dl), 0, self.ny))
+        hi = int(np.clip(np.round(y_stop / self.dl), 0, self.ny))
+        return slice(min(lo, hi), max(lo, hi))
+
+    def interior_mask(self) -> np.ndarray:
+        """Boolean mask that is True outside the PML region."""
+        mask = np.zeros(self.shape, dtype=bool)
+        mask[self.npml : self.nx - self.npml, self.npml : self.ny - self.npml] = True
+        return mask
+
+    # -- resolution changes ---------------------------------------------------------
+    def with_resolution(self, dl: float) -> "Grid":
+        """Return a grid covering the same physical domain at cell size ``dl``.
+
+        Used for multi-fidelity data generation: the low-fidelity grid is the
+        same device meshed with a larger ``dl``.
+        """
+        if dl <= 0:
+            raise ValueError(f"cell size must be positive, got {dl}")
+        scale = self.dl / dl
+        nx = max(int(round(self.nx * scale)), 2 * self.npml + 1)
+        ny = max(int(round(self.ny * scale)), 2 * self.npml + 1)
+        return Grid(nx=nx, ny=ny, dl=dl, npml=self.npml)

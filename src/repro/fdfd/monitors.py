@@ -1,0 +1,119 @@
+"""Ports, flux monitors and modal overlaps.
+
+A :class:`Port` is a straight line segment on the grid, normal to either the x
+or the y axis, used both to inject mode sources and to measure transmission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fdfd.grid import Grid
+from repro.fdfd.modes import ModeProfile, overlap_coefficient, solve_slab_modes
+
+
+@dataclass(frozen=True)
+class Port:
+    """A port: a line segment normal to one of the axes.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in monitor dictionaries ("in", "out", "drop", ...).
+    normal_axis:
+        ``"x"`` if the port plane is normal to x (the line spans y), ``"y"``
+        otherwise.
+    position:
+        Coordinate of the plane along the normal axis, in micrometres.
+    center:
+        Centre of the line segment along the transverse axis, in micrometres.
+    span:
+        Length of the line segment along the transverse axis, in micrometres.
+    direction:
+        +1 if power is expected to flow towards increasing coordinate through
+        the port, -1 otherwise.  Used to sign flux measurements.
+    """
+
+    name: str
+    normal_axis: str
+    position: float
+    center: float
+    span: float
+    direction: int = +1
+
+    def __post_init__(self) -> None:
+        if self.normal_axis not in ("x", "y"):
+            raise ValueError(f"normal_axis must be 'x' or 'y', got {self.normal_axis!r}")
+        if self.span <= 0:
+            raise ValueError(f"span must be positive, got {self.span}")
+        if self.direction not in (-1, 1):
+            raise ValueError(f"direction must be +1 or -1, got {self.direction}")
+
+    # -- index helpers -----------------------------------------------------------
+    def indices(self, grid: Grid) -> tuple:
+        """Return the ``(ix, iy)`` index expression selecting the port line."""
+        if self.normal_axis == "x":
+            ix = int(np.clip(round(self.position / grid.dl), 0, grid.nx - 1))
+            transverse = grid.slice_y(self.center - self.span / 2, self.center + self.span / 2)
+            return ix, transverse
+        iy = int(np.clip(round(self.position / grid.dl), 0, grid.ny - 1))
+        transverse = grid.slice_x(self.center - self.span / 2, self.center + self.span / 2)
+        return transverse, iy
+
+    def extract_line(self, field: np.ndarray, grid: Grid) -> np.ndarray:
+        """Extract the field values along the port line."""
+        return np.asarray(field)[self.indices(grid)]
+
+    def eps_line(self, eps_r: np.ndarray, grid: Grid) -> np.ndarray:
+        """Extract the permittivity cross-section along the port line."""
+        return np.real(np.asarray(eps_r)[self.indices(grid)])
+
+    def solve_modes(
+        self, eps_r: np.ndarray, grid: Grid, omega: float, num_modes: int = 2
+    ) -> list[ModeProfile]:
+        """Solve the slab modes of the port cross-section."""
+        return solve_slab_modes(self.eps_line(eps_r, grid), grid.dl, omega, num_modes)
+
+    def scatter_line(self, values: np.ndarray, grid: Grid) -> np.ndarray:
+        """Place ``values`` along the port line of a zero-initialized grid array."""
+        out = np.zeros(grid.shape, dtype=complex)
+        index = self.indices(grid)
+        line = out[index]
+        values = np.asarray(values)
+        if values.shape != line.shape:
+            raise ValueError(
+                f"value line shape {values.shape} does not match port line {line.shape}"
+            )
+        out[index] = values
+        return out
+
+
+def poynting_flux_through_port(
+    ez: np.ndarray,
+    hx: np.ndarray,
+    hy: np.ndarray,
+    port: Port,
+    grid: Grid,
+) -> float:
+    """Time-averaged Poynting flux through a port, signed by the port direction.
+
+    ``S = 0.5 Re(E x H*)``; only the component along the port normal
+    contributes.  The result has arbitrary absolute units — transmission is a
+    ratio of fluxes between a device run and a normalization run.
+    """
+    index = port.indices(grid)
+    ez_line = np.asarray(ez)[index]
+    if port.normal_axis == "x":
+        h_line = np.asarray(hy)[index]
+        flux = -0.5 * np.real(np.sum(ez_line * np.conj(h_line))) * grid.dl_m
+    else:
+        h_line = np.asarray(hx)[index]
+        flux = 0.5 * np.real(np.sum(ez_line * np.conj(h_line))) * grid.dl_m
+    return float(port.direction * flux)
+
+
+def mode_overlap(ez: np.ndarray, port: Port, mode: ModeProfile, grid: Grid) -> complex:
+    """Complex overlap of the field with a port mode (see :func:`overlap_coefficient`)."""
+    return overlap_coefficient(port.extract_line(ez, grid), mode)

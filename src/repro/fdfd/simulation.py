@@ -1,0 +1,265 @@
+"""High-level simulation facade used by devices, datasets and inverse design.
+
+:class:`Simulation` wires together the sparse solver, mode sources, monitors
+and normalization runs so that callers can ask directly for fields,
+transmissions and S-parameters of a device described by a permittivity map and
+a list of ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import wavelength_to_omega
+from repro.fdfd.grid import Grid
+from repro.fdfd.modes import ModeProfile, mode_source_amplitude
+from repro.fdfd.monitors import Port, mode_overlap, poynting_flux_through_port
+from repro.fdfd.solver import FdfdSolver, FieldSolution
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured in one forward solve.
+
+    The attributes correspond to the "rich labels" that MAPS-Data attaches to
+    each sample: the full field maps, per-port fluxes and S-parameters, the
+    source that was injected and the incident normalization.
+    """
+
+    ez: np.ndarray
+    hx: np.ndarray
+    hy: np.ndarray
+    source: np.ndarray
+    wavelength: float
+    source_port: str
+    source_mode: int
+    fluxes: dict[str, float] = field(default_factory=dict)
+    s_params: dict[str, complex] = field(default_factory=dict)
+    transmissions: dict[str, float] = field(default_factory=dict)
+    input_flux: float = 0.0
+    input_overlap: complex = 0.0
+
+    def total_transmission(self, ports: list[str] | None = None) -> float:
+        """Sum of power transmissions over ``ports`` (all output ports by default)."""
+        names = ports if ports is not None else list(self.transmissions)
+        return float(sum(self.transmissions[name] for name in names))
+
+    @property
+    def radiation(self) -> float:
+        """Fraction of input power not collected by any monitored port."""
+        return max(0.0, 1.0 - self.total_transmission())
+
+
+class Simulation:
+    """FDFD simulation of a device: permittivity map + ports + wavelength.
+
+    Parameters
+    ----------
+    grid:
+        The simulation grid (including PML cells).
+    eps_r:
+        Relative permittivity on the grid.
+    wavelength:
+        Operating free-space wavelength in micrometres.
+    ports:
+        All device ports.  The first port is the default source port.
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        eps_r: np.ndarray,
+        wavelength: float,
+        ports: list[Port],
+    ):
+        eps_r = np.asarray(eps_r, dtype=float)
+        if eps_r.shape != grid.shape:
+            raise ValueError(f"eps_r shape {eps_r.shape} does not match grid {grid.shape}")
+        if not ports:
+            raise ValueError("at least one port is required")
+        names = [p.name for p in ports]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate port names: {names}")
+        self.grid = grid
+        self.eps_r = eps_r
+        self.wavelength = float(wavelength)
+        self.omega = wavelength_to_omega(wavelength)
+        self.ports = {p.name: p for p in ports}
+        self.solver = FdfdSolver(grid, self.omega)
+        self._norm_cache: dict[tuple[str, int], tuple[float, complex]] = {}
+
+    # -- permittivity handling ----------------------------------------------------
+    def set_permittivity(self, eps_r: np.ndarray) -> None:
+        """Replace the permittivity map (invalidates solver caches)."""
+        eps_r = np.asarray(eps_r, dtype=float)
+        if eps_r.shape != self.grid.shape:
+            raise ValueError(
+                f"eps_r shape {eps_r.shape} does not match grid {self.grid.shape}"
+            )
+        self.eps_r = eps_r
+        self.solver.clear_cache()
+
+    # -- sources ----------------------------------------------------------------------
+    def port_modes(self, port_name: str, num_modes: int = 2) -> list[ModeProfile]:
+        """Guided modes of a port cross-section for the current permittivity."""
+        port = self._port(port_name)
+        return port.solve_modes(self.eps_r, self.grid, self.omega, num_modes=num_modes)
+
+    def mode_source(self, port_name: str, mode_index: int = 0) -> np.ndarray:
+        """Current source injecting the given port mode."""
+        port = self._port(port_name)
+        modes = port.solve_modes(
+            self.eps_r, self.grid, self.omega, num_modes=mode_index + 1
+        )
+        if len(modes) <= mode_index:
+            raise ValueError(
+                f"port {port_name!r} guides only {len(modes)} mode(s); "
+                f"mode {mode_index} requested"
+            )
+        amplitude = mode_source_amplitude(modes[mode_index])
+        return port.scatter_line(amplitude, self.grid)
+
+    def _port(self, name: str) -> Port:
+        if name not in self.ports:
+            raise KeyError(f"unknown port {name!r}; available: {sorted(self.ports)}")
+        return self.ports[name]
+
+    # -- normalization run ----------------------------------------------------------------
+    def _normalization(self, port_name: str, mode_index: int) -> tuple[float, complex]:
+        """Incident flux and modal overlap of the source in a straight waveguide.
+
+        The reference structure is obtained by extruding the source-port
+        permittivity cross-section along the port normal through the whole
+        domain — i.e. the waveguide feeding the port, continued straight.
+        """
+        key = (port_name, mode_index)
+        if key in self._norm_cache:
+            return self._norm_cache[key]
+
+        port = self._port(port_name)
+        eps_line = port.eps_line(self.eps_r, self.grid)
+        if port.normal_axis == "x":
+            eps_norm = np.full(self.grid.shape, float(eps_line.min()))
+            index = port.indices(self.grid)[1]
+            eps_norm[:, index] = eps_line[None, :]
+            monitor_position = self.grid.size_x - (self.grid.npml + 4) * self.grid.dl
+            if port.position > self.grid.size_x / 2:
+                monitor_position = (self.grid.npml + 4) * self.grid.dl
+        else:
+            eps_norm = np.full(self.grid.shape, float(eps_line.min()))
+            index = port.indices(self.grid)[0]
+            eps_norm[index, :] = eps_line[:, None]
+            monitor_position = self.grid.size_y - (self.grid.npml + 4) * self.grid.dl
+            if port.position > self.grid.size_y / 2:
+                monitor_position = (self.grid.npml + 4) * self.grid.dl
+
+        monitor = Port(
+            name="__norm__",
+            normal_axis=port.normal_axis,
+            position=monitor_position,
+            center=port.center,
+            span=port.span,
+            direction=+1 if monitor_position > port.position else -1,
+        )
+        modes = port.solve_modes(eps_norm, self.grid, self.omega, num_modes=mode_index + 1)
+        if len(modes) <= mode_index:
+            raise ValueError(
+                f"normalization waveguide for port {port_name!r} does not guide mode "
+                f"{mode_index}"
+            )
+        source = port.scatter_line(mode_source_amplitude(modes[mode_index]), self.grid)
+
+        solver = FdfdSolver(self.grid, self.omega)
+        solution = solver.solve(eps_norm, source)
+        flux = poynting_flux_through_port(
+            solution.ez, solution.hx, solution.hy, monitor, self.grid
+        )
+        monitor_modes = monitor.solve_modes(
+            eps_norm, self.grid, self.omega, num_modes=mode_index + 1
+        )
+        overlap = mode_overlap(solution.ez, monitor, monitor_modes[mode_index], self.grid)
+        result = (abs(float(flux)), overlap)
+        self._norm_cache[key] = result
+        return result
+
+    # -- forward solve -----------------------------------------------------------------------
+    def solve(
+        self,
+        source_port: str | None = None,
+        mode_index: int = 0,
+        source: np.ndarray | None = None,
+        monitor_ports: list[str] | None = None,
+    ) -> SimulationResult:
+        """Run a forward simulation and measure all monitors.
+
+        Parameters
+        ----------
+        source_port:
+            Name of the port to excite (default: the first port).
+        mode_index:
+            Which guided mode of the source port to inject.
+        source:
+            Explicit current source overriding the mode source (used when
+            replaying stored dataset samples).
+        monitor_ports:
+            Ports to measure (default: every port except the source port).
+        """
+        if source_port is None:
+            source_port = next(iter(self.ports))
+        port = self._port(source_port)
+        if source is None:
+            source = self.mode_source(source_port, mode_index)
+        else:
+            source = np.asarray(source, dtype=complex)
+            if source.shape != self.grid.shape:
+                raise ValueError(
+                    f"source shape {source.shape} does not match grid {self.grid.shape}"
+                )
+
+        solution: FieldSolution = self.solver.solve(self.eps_r, source)
+        norm_flux, norm_overlap = self._normalization(source_port, mode_index)
+
+        if monitor_ports is None:
+            monitor_ports = [name for name in self.ports if name != source_port]
+
+        fluxes: dict[str, float] = {}
+        s_params: dict[str, complex] = {}
+        transmissions: dict[str, float] = {}
+        for name in monitor_ports:
+            monitor = self._port(name)
+            flux = poynting_flux_through_port(
+                solution.ez, solution.hx, solution.hy, monitor, self.grid
+            )
+            fluxes[name] = float(flux)
+            modes = monitor.solve_modes(self.eps_r, self.grid, self.omega, num_modes=1)
+            if modes:
+                overlap = mode_overlap(solution.ez, monitor, modes[0], self.grid)
+            else:
+                overlap = 0.0 + 0.0j
+            s_params[name] = complex(overlap / norm_overlap) if norm_overlap else 0.0j
+            transmissions[name] = float(np.clip(flux / norm_flux, 0.0, None)) if norm_flux else 0.0
+
+        return SimulationResult(
+            ez=solution.ez,
+            hx=solution.hx,
+            hy=solution.hy,
+            source=source,
+            wavelength=self.wavelength,
+            source_port=source_port,
+            source_mode=mode_index,
+            fluxes=fluxes,
+            s_params=s_params,
+            transmissions=transmissions,
+            input_flux=norm_flux,
+            input_overlap=norm_overlap,
+        )
+
+    # -- physics checks -------------------------------------------------------------------------
+    def maxwell_residual(self, result: SimulationResult) -> float:
+        """Relative Maxwell residual of a result (sanity check / physics loss label)."""
+        residual = self.solver.residual(self.eps_r, result.ez, result.source)
+        rhs = 1j * self.omega * result.source
+        denom = np.linalg.norm(rhs.ravel())
+        return float(np.linalg.norm(residual.ravel()) / (denom + 1e-30))

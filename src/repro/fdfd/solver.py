@@ -1,0 +1,176 @@
+"""Assembly and solution of the frequency-domain Maxwell operator.
+
+For the Ez polarization with the ``exp(+i omega t)`` convention the governing
+equation discretized on the Yee grid is::
+
+    [ (1/mu0) (Dxf Dxb + Dyf Dyb) + omega^2 eps0 diag(eps_r) ] Ez = i omega Jz
+
+and the magnetic fields follow from the curl of ``Ez``::
+
+    Hx = -1/(i omega mu0) Dyb Ez
+    Hy = +1/(i omega mu0) Dxb Ez
+
+The operator is complex symmetric (the PML stretching preserves symmetry),
+which the adjoint solve exploits: ``A^T = A``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.constants import EPSILON_0, MU_0
+from repro.fdfd.derivatives import derivative_operators
+from repro.fdfd.grid import Grid
+
+
+@dataclass
+class FieldSolution:
+    """Electric and magnetic fields of a single forward solve (grid shaped)."""
+
+    ez: np.ndarray
+    hx: np.ndarray
+    hy: np.ndarray
+    omega: float
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.ez.shape
+
+
+class FdfdSolver:
+    """Direct FDFD solver for one grid and one angular frequency.
+
+    The operator factorization is cached so that repeated solves at the same
+    permittivity (forward + adjoint, or multiple sources) cost a single LU
+    decomposition.
+    """
+
+    def __init__(self, grid: Grid, omega: float):
+        if omega <= 0:
+            raise ValueError(f"omega must be positive, got {omega}")
+        self.grid = grid
+        self.omega = float(omega)
+        self._derivs = derivative_operators(grid, self.omega)
+        # Laplacian-like part, independent of the permittivity.
+        self._curl_curl = (
+            self._derivs["Dxf"] @ self._derivs["Dxb"]
+            + self._derivs["Dyf"] @ self._derivs["Dyb"]
+        ) / MU_0
+        self._cached_eps: np.ndarray | None = None
+        self._cached_lu: spla.SuperLU | None = None
+
+    # -- operator assembly ------------------------------------------------------
+    def system_matrix(self, eps_r: np.ndarray) -> sp.csr_matrix:
+        """Assemble ``A(eps_r)`` for a grid-shaped relative permittivity."""
+        eps_r = self._check_eps(eps_r)
+        diagonal = self.omega**2 * EPSILON_0 * eps_r.ravel()
+        return (self._curl_curl + sp.diags(diagonal)).tocsr()
+
+    def _check_eps(self, eps_r: np.ndarray) -> np.ndarray:
+        eps_r = np.asarray(eps_r)
+        if eps_r.shape != self.grid.shape:
+            raise ValueError(
+                f"eps_r shape {eps_r.shape} does not match grid {self.grid.shape}"
+            )
+        return eps_r
+
+    def _factorize(self, eps_r: np.ndarray) -> spla.SuperLU:
+        if self._cached_lu is not None and self._cached_eps is not None:
+            if np.array_equal(self._cached_eps, eps_r):
+                return self._cached_lu
+        matrix = self.system_matrix(eps_r).tocsc()
+        lu = spla.splu(matrix)
+        self._cached_eps = np.array(eps_r, copy=True)
+        self._cached_lu = lu
+        return lu
+
+    def clear_cache(self) -> None:
+        """Drop the cached factorization (e.g. after changing the permittivity)."""
+        self._cached_eps = None
+        self._cached_lu = None
+
+    # -- solves ---------------------------------------------------------------------
+    def solve(self, eps_r: np.ndarray, source: np.ndarray) -> FieldSolution:
+        """Solve for the fields produced by a current density ``Jz``.
+
+        Parameters
+        ----------
+        eps_r:
+            Relative permittivity, grid shaped (real or complex).
+        source:
+            Current density ``Jz`` on the grid (complex allowed).
+
+        Returns
+        -------
+        FieldSolution
+            Grid-shaped ``Ez``, ``Hx``, ``Hy``.
+        """
+        eps_r = self._check_eps(eps_r)
+        source = np.asarray(source)
+        if source.shape != self.grid.shape:
+            raise ValueError(
+                f"source shape {source.shape} does not match grid {self.grid.shape}"
+            )
+        lu = self._factorize(eps_r)
+        rhs = 1j * self.omega * source.ravel().astype(complex)
+        ez_flat = lu.solve(rhs)
+        ez = ez_flat.reshape(self.grid.shape)
+        hx, hy = self.e_to_h(ez)
+        return FieldSolution(ez=ez, hx=hx, hy=hy, omega=self.omega)
+
+    def solve_adjoint(self, eps_r: np.ndarray, adjoint_source: np.ndarray) -> np.ndarray:
+        """Solve the adjoint system ``A^T lambda = rhs``.
+
+        ``A`` is complex symmetric, so the forward factorization is reused
+        (``A^T = A``).  The adjoint source is the derivative of the objective
+        with respect to ``Ez`` (grid shaped, complex).
+        """
+        eps_r = self._check_eps(eps_r)
+        adjoint_source = np.asarray(adjoint_source)
+        if adjoint_source.shape != self.grid.shape:
+            raise ValueError(
+                f"adjoint source shape {adjoint_source.shape} does not match grid "
+                f"{self.grid.shape}"
+            )
+        lu = self._factorize(eps_r)
+        lam = lu.solve(adjoint_source.ravel().astype(complex))
+        return lam.reshape(self.grid.shape)
+
+    # -- derived fields ---------------------------------------------------------------
+    def e_to_h(self, ez: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Magnetic fields from the electric field via the discrete curl."""
+        ez_flat = np.asarray(ez).ravel()
+        factor = -1.0 / (1j * self.omega * MU_0)
+        hx = factor * (self._derivs["Dyb"] @ ez_flat)
+        hy = -factor * (self._derivs["Dxb"] @ ez_flat)
+        return hx.reshape(self.grid.shape), hy.reshape(self.grid.shape)
+
+    def residual(self, eps_r: np.ndarray, ez: np.ndarray, source: np.ndarray) -> np.ndarray:
+        """Maxwell-equation residual ``A ez - i omega J`` for a candidate field.
+
+        This is the physics-driven loss used by MAPS-Train: a perfect field
+        prediction has zero residual regardless of the label.
+        """
+        matrix = self.system_matrix(self._check_eps(eps_r))
+        rhs = 1j * self.omega * np.asarray(source).ravel().astype(complex)
+        res = matrix @ np.asarray(ez).ravel().astype(complex) - rhs
+        return res.reshape(self.grid.shape)
+
+    def permittivity_gradient(
+        self, ez: np.ndarray, adjoint_field: np.ndarray
+    ) -> np.ndarray:
+        """Adjoint gradient of a real objective with respect to ``eps_r``.
+
+        With ``A = C + omega^2 eps0 diag(eps_r)`` and objective ``F(Ez)``, the
+        chain rule gives ``dF/deps_r = -2 omega^2 eps0 Re(lambda * Ez)`` where
+        ``lambda`` solves ``A^T lambda = dF/dEz``.
+        """
+        ez = np.asarray(ez)
+        adjoint_field = np.asarray(adjoint_field)
+        if ez.shape != self.grid.shape or adjoint_field.shape != self.grid.shape:
+            raise ValueError("field shapes must match the grid")
+        return -2.0 * self.omega**2 * EPSILON_0 * np.real(adjoint_field * ez)

@@ -1,0 +1,42 @@
+"""MAPS-InvDes: adjoint-method photonic inverse design.
+
+The toolkit abstracts the physics (FDFD solves, adjoint sources, permittivity
+gradients) while exposing the optimization steps:
+
+* :mod:`repro.invdes.objectives` — composable figure-of-merit terms with
+  analytic adjoint sources,
+* :mod:`repro.invdes.adjoint` — per-excitation adjoint gradients,
+* :mod:`repro.invdes.problem` — :class:`InverseDesignProblem`, chaining the
+  design parametrization, differentiable transforms, fabrication models and
+  the simulator into a single ``value_and_grad``,
+* :mod:`repro.invdes.optimizer` — :class:`AdjointOptimizer`, an Adam-based
+  ascent loop with binarization scheduling and full trajectory recording,
+* :mod:`repro.invdes.initialization` — built-in and custom initial designs,
+* :mod:`repro.invdes.variation` — variation-aware (robust) optimization over
+  fabrication and operating corners.
+"""
+
+from repro.invdes.objectives import (
+    ModeTransmissionObjective,
+    FluxTransmissionObjective,
+    CompositeObjective,
+)
+from repro.invdes.adjoint import NumericalFieldBackend, SpecEvaluation, evaluate_spec
+from repro.invdes.problem import InverseDesignProblem
+from repro.invdes.optimizer import AdjointOptimizer, OptimizationTrajectory
+from repro.invdes.initialization import initial_density
+from repro.invdes.variation import RobustInverseDesignProblem
+
+__all__ = [
+    "ModeTransmissionObjective",
+    "FluxTransmissionObjective",
+    "CompositeObjective",
+    "NumericalFieldBackend",
+    "SpecEvaluation",
+    "evaluate_spec",
+    "InverseDesignProblem",
+    "AdjointOptimizer",
+    "OptimizationTrajectory",
+    "initial_density",
+    "RobustInverseDesignProblem",
+]

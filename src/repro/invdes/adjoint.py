@@ -1,0 +1,180 @@
+"""Per-excitation adjoint gradients.
+
+:func:`evaluate_spec` runs the forward simulation for one
+:class:`~repro.devices.base.TargetSpec`, evaluates the objective, performs the
+adjoint solve and chains the permittivity gradient back to the design density.
+The actual field solves go through a :class:`FieldBackend`, so the same code
+path serves the numerical solver and the neural surrogates of Table II /
+Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.devices.base import Device, TargetSpec
+from repro.fdfd.simulation import Simulation, SimulationResult
+from repro.invdes.objectives import CompositeObjective, objective_for_spec
+
+
+class FieldBackend:
+    """Interface for forward/adjoint field computation.
+
+    The numerical backend delegates to the sparse FDFD solver; the neural
+    backend in :mod:`repro.surrogate` predicts the fields with a trained
+    model.  Both return grid-shaped complex arrays.
+    """
+
+    def forward_fields(self, sim: Simulation, spec: TargetSpec) -> SimulationResult:
+        raise NotImplementedError
+
+    def adjoint_field(
+        self, sim: Simulation, spec: TargetSpec, adjoint_source: np.ndarray
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+
+class NumericalFieldBackend(FieldBackend):
+    """Exact fields from the sparse FDFD solver (the default backend)."""
+
+    def forward_fields(self, sim: Simulation, spec: TargetSpec) -> SimulationResult:
+        return sim.solve(
+            source_port=spec.source_port,
+            mode_index=spec.source_mode,
+            monitor_ports=spec.monitored_ports(),
+        )
+
+    def adjoint_field(
+        self, sim: Simulation, spec: TargetSpec, adjoint_source: np.ndarray
+    ) -> np.ndarray:
+        return sim.solver.solve_adjoint(sim.eps_r, adjoint_source)
+
+
+@dataclass
+class SpecEvaluation:
+    """Result of evaluating one target spec at one design density."""
+
+    spec: TargetSpec
+    objective_value: float
+    grad_density: np.ndarray
+    transmissions: dict[str, float] = field(default_factory=dict)
+    result: SimulationResult | None = None
+    adjoint_field: np.ndarray | None = None
+
+    @property
+    def weighted_value(self) -> float:
+        return self.spec.weight * self.objective_value
+
+
+def evaluate_spec(
+    device: Device,
+    density: np.ndarray,
+    spec: TargetSpec,
+    backend: FieldBackend | None = None,
+    objective: CompositeObjective | None = None,
+    compute_gradient: bool = True,
+    eps_postprocess=None,
+    wavelength_shift: float = 0.0,
+) -> SpecEvaluation:
+    """Objective value and density gradient for a single excitation spec.
+
+    Parameters
+    ----------
+    device:
+        The benchmark device providing geometry and ports.
+    density:
+        Design density in ``[0, 1]`` on the design region.
+    spec:
+        Excitation and routing target.
+    backend:
+        Field backend (numerical FDFD by default).
+    objective:
+        Objective functional; defaults to the mode-transmission objective built
+        from the spec's port weights.
+    compute_gradient:
+        If False, skip the adjoint solve (used for dataset labelling where only
+        the forward quantities are needed).
+    eps_postprocess:
+        Optional callable applied to the permittivity before simulation
+        (temperature drift of variation-aware corners).
+    wavelength_shift:
+        Added to the spec wavelength (laser drift corner).
+    """
+    backend = backend or NumericalFieldBackend()
+    objective = objective or objective_for_spec(spec)
+
+    eps = device.eps_with_design(np.asarray(density, dtype=float))
+    eps = device.apply_state(eps, spec.state)
+    if eps_postprocess is not None:
+        eps = eps_postprocess(eps)
+    wavelength = spec.wavelength + wavelength_shift
+    sim = Simulation(device.grid, eps, wavelength, device.geometry.ports)
+
+    result = backend.forward_fields(sim, spec)
+    value, adjoint_source = objective.value_and_adjoint_source(sim, result)
+
+    if not compute_gradient:
+        return SpecEvaluation(
+            spec=spec,
+            objective_value=float(value),
+            grad_density=np.zeros(device.design_shape),
+            transmissions=dict(result.transmissions),
+            result=result,
+        )
+
+    lam = backend.adjoint_field(sim, spec, adjoint_source)
+    grad_eps = sim.solver.permittivity_gradient(result.ez, lam)
+    # Chain rule: eps = eps_clad + (eps_core - eps_clad) * rho inside the design
+    # region (device states add permittivity independently of rho).
+    scale = device.geometry.eps_core - device.geometry.eps_clad
+    grad_density = grad_eps[device.geometry.design_slice] * scale
+    return SpecEvaluation(
+        spec=spec,
+        objective_value=float(value),
+        grad_density=grad_density,
+        transmissions=dict(result.transmissions),
+        result=result,
+        adjoint_field=lam,
+    )
+
+
+def evaluate_all_specs(
+    device: Device,
+    density: np.ndarray,
+    backend: FieldBackend | None = None,
+    compute_gradient: bool = True,
+    eps_postprocess=None,
+    wavelength_shift: float = 0.0,
+) -> tuple[float, np.ndarray, list[SpecEvaluation]]:
+    """Weighted objective and gradient accumulated over all device specs.
+
+    The normalization matches :meth:`repro.devices.base.Device.figure_of_merit`:
+    the weighted sum is divided by the total positive weight so a perfect
+    router scores 1.
+    """
+    evaluations = []
+    total = 0.0
+    weight_norm = 0.0
+    grad = np.zeros(device.design_shape)
+    for spec in device.specs:
+        evaluation = evaluate_spec(
+            device,
+            density,
+            spec,
+            backend=backend,
+            compute_gradient=compute_gradient,
+            eps_postprocess=eps_postprocess,
+            wavelength_shift=wavelength_shift,
+        )
+        evaluations.append(evaluation)
+        total += spec.weight * evaluation.objective_value
+        grad += spec.weight * evaluation.grad_density
+        weight_norm += spec.weight * max(
+            sum(w for w in spec.port_weights.values() if w > 0), 1e-12
+        )
+    if weight_norm > 0:
+        total /= weight_norm
+        grad /= weight_norm
+    return float(total), grad, evaluations

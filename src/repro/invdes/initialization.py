@@ -1,0 +1,80 @@
+"""Built-in initial designs for inverse design.
+
+The optimization landscape is non-convex and sensitive to initialization; the
+toolkit ships the three initializations used throughout the paper's case
+studies (uniform gray, random, and a transmission-encouraging "connect the
+ports" heuristic) and accepts arbitrary user-provided patterns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import get_rng
+
+
+def _port_entry_point(device, port) -> tuple[float, float]:
+    """Entry point of a port into the design region, in design-cell coordinates."""
+    grid = device.grid
+    sx, sy = device.geometry.design_slice
+    h, w = device.design_shape
+    if port.normal_axis == "x":
+        row = 0.0 if port.position < grid.size_x / 2 else float(h - 1)
+        col = port.center / grid.dl - sy.start
+        col = float(np.clip(col, 0, w - 1))
+        return row, col
+    col = 0.0 if port.position < grid.size_y / 2 else float(w - 1)
+    row = port.center / grid.dl - sx.start
+    row = float(np.clip(row, 0, h - 1))
+    return row, col
+
+
+def _draw_line(density: np.ndarray, start: tuple[float, float], stop: tuple[float, float], half_width: float) -> None:
+    """Rasterize a thick straight line into ``density`` in place."""
+    h, w = density.shape
+    steps = int(4 * max(h, w))
+    rows = np.linspace(start[0], stop[0], steps)
+    cols = np.linspace(start[1], stop[1], steps)
+    yy, xx = np.meshgrid(np.arange(h), np.arange(w), indexing="ij")
+    for r, c in zip(rows, cols):
+        mask = (yy - r) ** 2 + (xx - c) ** 2 <= half_width**2
+        density[mask] = 1.0
+
+
+def initial_density(device, kind: str = "uniform", rng=None, value: float = 0.5) -> np.ndarray:
+    """Build an initial design density for a device.
+
+    Parameters
+    ----------
+    device:
+        A :class:`repro.devices.base.Device`.
+    kind:
+        ``"uniform"`` — constant gray level ``value``;
+        ``"random"`` — i.i.d. uniform densities;
+        ``"waveguide"`` — gray background with high-density straight connections
+        between the source port and every positively-weighted output port of
+        each spec (the "encourage light transmission" heuristic of the paper).
+    rng:
+        Seed or generator for the random initialization.
+    value:
+        Gray level of the uniform background.
+    """
+    shape = device.design_shape
+    if kind == "uniform":
+        return np.full(shape, float(value))
+    if kind == "random":
+        return get_rng(rng).uniform(0.0, 1.0, size=shape)
+    if kind == "waveguide":
+        density = np.full(shape, float(value) * 0.6)
+        half_width = max(1.0, 0.48 / device.dl / 2.0)
+        for spec in device.specs:
+            src_port = next(p for p in device.geometry.ports if p.name == spec.source_port)
+            src_point = _port_entry_point(device, src_port)
+            for port_name, weight in spec.port_weights.items():
+                if weight <= 0:
+                    continue
+                out_port = next(p for p in device.geometry.ports if p.name == port_name)
+                out_point = _port_entry_point(device, out_port)
+                _draw_line(density, src_point, out_point, half_width)
+        return np.clip(density, 0.0, 1.0)
+    raise ValueError(f"unknown initialization kind {kind!r}")

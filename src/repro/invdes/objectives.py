@@ -1,0 +1,159 @@
+"""Optimization objectives with analytic adjoint sources.
+
+Every objective computes, from a forward :class:`SimulationResult`, a real
+figure-of-merit contribution and its derivative with respect to the complex
+field ``Ez`` (the adjoint source).  The derivative convention is
+``dF = 2 Re( sum_i (dF/dEz_i) dEz_i )``, which is what the adjoint solver in
+:mod:`repro.fdfd.solver` expects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fdfd.monitors import Port, mode_overlap, poynting_flux_through_port
+from repro.fdfd.simulation import Simulation, SimulationResult
+
+
+class Objective:
+    """Base class: a differentiable functional of the forward field."""
+
+    def value_and_adjoint_source(
+        self, sim: Simulation, result: SimulationResult
+    ) -> tuple[float, np.ndarray]:
+        """Return the objective value and ``dF/dEz`` on the full grid."""
+        raise NotImplementedError
+
+
+class ModeTransmissionObjective(Objective):
+    """Power transmission into one guided mode of a port.
+
+    ``T = |c|^2 / |c_norm|^2`` where ``c`` is the modal overlap at the port
+    and ``c_norm`` the overlap measured in the source normalization run.  The
+    adjoint source is ``dT/dEz_i = (conj(c) / |c_norm|^2) * phi_i * dl`` on the
+    port line.
+    """
+
+    def __init__(self, port_name: str, mode_index: int = 0, weight: float = 1.0):
+        self.port_name = port_name
+        self.mode_index = mode_index
+        self.weight = float(weight)
+
+    def value_and_adjoint_source(
+        self, sim: Simulation, result: SimulationResult
+    ) -> tuple[float, np.ndarray]:
+        port: Port = sim.ports[self.port_name]
+        modes = port.solve_modes(
+            sim.eps_r, sim.grid, sim.omega, num_modes=self.mode_index + 1
+        )
+        adjoint = np.zeros(sim.grid.shape, dtype=complex)
+        if len(modes) <= self.mode_index:
+            # The port does not guide the requested mode: zero transmission and
+            # no adjoint drive from this term.
+            return 0.0, adjoint
+        mode = modes[self.mode_index]
+        overlap = mode_overlap(result.ez, port, mode, sim.grid)
+        norm = abs(result.input_overlap) ** 2
+        if norm <= 0:
+            return 0.0, adjoint
+        value = float(abs(overlap) ** 2 / norm)
+        line = (np.conj(overlap) / norm) * mode.profile * mode.dl
+        adjoint[port.indices(sim.grid)] = line
+        return self.weight * value, self.weight * adjoint
+
+
+class FluxTransmissionObjective(Objective):
+    """Power transmission measured as Poynting flux through a port.
+
+    ``T = P_port / P_in`` with ``P_port = -0.5 d Re(sum Ez conj(Hy))`` (x-normal
+    ports) or ``+0.5 d Re(sum Ez conj(Hx))`` (y-normal ports).  Because the
+    magnetic field is a linear operator applied to ``Ez``, the derivative is::
+
+        dT/dEz = -(0.25 d / P_in) (S^T conj(S M Ez) + M^T S^T conj(S Ez))
+
+    where ``S`` selects the port line and ``M`` is the corresponding discrete
+    curl row block.
+    """
+
+    def __init__(self, port_name: str, weight: float = 1.0):
+        self.port_name = port_name
+        self.weight = float(weight)
+
+    def value_and_adjoint_source(
+        self, sim: Simulation, result: SimulationResult
+    ) -> tuple[float, np.ndarray]:
+        port: Port = sim.ports[self.port_name]
+        grid = sim.grid
+        flux = poynting_flux_through_port(result.ez, result.hx, result.hy, port, grid)
+        p_in = result.input_flux
+        if p_in <= 0:
+            return 0.0, np.zeros(grid.shape, dtype=complex)
+        value = float(flux / p_in)
+
+        # Build dF/dEz analytically.
+        solver = sim.solver
+        omega = sim.omega
+        from repro.constants import MU_0
+
+        line_mask = np.zeros(grid.shape, dtype=bool)
+        line_mask[port.indices(grid)] = True
+        flat_index = np.flatnonzero(line_mask.ravel())
+
+        ez_flat = result.ez.ravel()
+        if port.normal_axis == "x":
+            curl_rows = solver._derivs["Dxb"]
+            h_factor = 1.0 / (1j * omega * MU_0)
+            sign = -1.0
+        else:
+            curl_rows = solver._derivs["Dyb"]
+            h_factor = -1.0 / (1j * omega * MU_0)
+            sign = +1.0
+
+        h_flat = h_factor * (curl_rows @ ez_flat)
+        scale = sign * port.direction * 0.25 * grid.dl_m / p_in
+        grad = np.zeros(grid.n_points, dtype=complex)
+        # Term 1: d/dEz of Ez * conj(H) at the port line.
+        grad[flat_index] += scale * np.conj(h_flat[flat_index])
+        # Term 2: through H = h_factor * (curl_rows @ Ez) in the conj(Ez) * H product.
+        selector = np.zeros(grid.n_points, dtype=complex)
+        selector[flat_index] = scale * np.conj(ez_flat[flat_index])
+        grad += h_factor * (curl_rows.T @ selector)
+        return self.weight * value, self.weight * grad.reshape(grid.shape)
+
+
+class CompositeObjective(Objective):
+    """Weighted sum of objectives (the weights live inside the terms)."""
+
+    def __init__(self, terms: list[Objective]):
+        if not terms:
+            raise ValueError("composite objective needs at least one term")
+        self.terms = list(terms)
+
+    def value_and_adjoint_source(
+        self, sim: Simulation, result: SimulationResult
+    ) -> tuple[float, np.ndarray]:
+        total = 0.0
+        adjoint = np.zeros(sim.grid.shape, dtype=complex)
+        for term in self.terms:
+            value, source = term.value_and_adjoint_source(sim, result)
+            total += value
+            adjoint += source
+        return total, adjoint
+
+
+def objective_for_spec(spec, kind: str = "mode") -> CompositeObjective:
+    """Build the default objective for a :class:`repro.devices.base.TargetSpec`.
+
+    Each monitored port contributes a transmission term weighted by the spec's
+    port weight (positive for wanted ports, negative for crosstalk ports).
+    """
+    terms: list[Objective] = []
+    for port_name, weight in spec.port_weights.items():
+        if kind == "mode":
+            # Output ports are measured in their fundamental mode.
+            terms.append(ModeTransmissionObjective(port_name, 0, weight))
+        elif kind == "flux":
+            terms.append(FluxTransmissionObjective(port_name, weight))
+        else:
+            raise ValueError(f"unknown objective kind {kind!r}")
+    return CompositeObjective(terms)

@@ -1,0 +1,51 @@
+"""A small neural-network library built on :mod:`repro.autograd`.
+
+It provides the layers, parameter management and optimizers needed by the
+MAPS-Train surrogate models (FNO, Factorized-FNO, UNet, NeurOLight) and by the
+differentiable components of the inverse-design toolkit.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential, ModuleList
+from repro.nn.layers import (
+    Linear,
+    Conv2d,
+    GroupNorm,
+    LayerNorm,
+    ReLU,
+    GELU,
+    Tanh,
+    Sigmoid,
+    Identity,
+    AvgPool2d,
+    UpsampleNearest2d,
+    Dropout,
+)
+from repro.nn.spectral import SpectralConv2d, FactorizedSpectralConv2d
+from repro.nn.optim import SGD, Adam, CosineSchedule, StepSchedule
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "Linear",
+    "Conv2d",
+    "GroupNorm",
+    "LayerNorm",
+    "ReLU",
+    "GELU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "AvgPool2d",
+    "UpsampleNearest2d",
+    "Dropout",
+    "SpectralConv2d",
+    "FactorizedSpectralConv2d",
+    "SGD",
+    "Adam",
+    "CosineSchedule",
+    "StepSchedule",
+    "init",
+]

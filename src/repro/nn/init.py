@@ -1,0 +1,39 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import get_rng
+
+
+def xavier_uniform(shape: tuple[int, ...], fan_in: int, fan_out: int, rng=None) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    rng = get_rng(rng)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_uniform(shape: tuple[int, ...], fan_in: int, rng=None) -> np.ndarray:
+    """He/Kaiming uniform initialization for ReLU-family activations."""
+    rng = get_rng(rng)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def normal(shape: tuple[int, ...], std: float = 0.02, rng=None) -> np.ndarray:
+    """Zero-mean Gaussian initialization."""
+    rng = get_rng(rng)
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero initialization (biases)."""
+    return np.zeros(shape)
+
+
+def spectral_scale(shape: tuple[int, ...], c_in: int, rng=None) -> np.ndarray:
+    """FNO spectral-weight initialization: uniform scaled by ``1/c_in``."""
+    rng = get_rng(rng)
+    scale = 1.0 / max(c_in, 1)
+    return scale * rng.uniform(-1.0, 1.0, size=shape)

@@ -1,0 +1,147 @@
+"""First-order optimizers and learning-rate schedules."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base class holding a parameter list and the current learning rate."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            param.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba) with decoupled weight decay (AdamW style)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step += 1
+        beta1, beta2 = self.betas
+        bias1 = 1.0 - beta1**self._step
+        bias2 = 1.0 - beta2**self._step
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            m *= beta1
+            m += (1.0 - beta1) * grad
+            v *= beta2
+            v += (1.0 - beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            if self.weight_decay:
+                param.data -= self.lr * self.weight_decay * param.data
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class Schedule:
+    """Base class for learning-rate schedules attached to an optimizer."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and return the new learning rate."""
+        self.epoch += 1
+        lr = self.lr_at(self.epoch)
+        self.optimizer.lr = lr
+        return lr
+
+    def lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class CosineSchedule(Schedule):
+    """Cosine annealing from the base learning rate down to ``min_lr``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0):
+        super().__init__(optimizer)
+        if total_epochs <= 0:
+            raise ValueError("total_epochs must be positive")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def lr_at(self, epoch: int) -> float:
+        progress = min(epoch, self.total_epochs) / self.total_epochs
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1.0 + math.cos(math.pi * progress))
+
+
+class StepSchedule(Schedule):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * (self.gamma ** (epoch // self.step_size))

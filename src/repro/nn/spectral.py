@@ -1,0 +1,63 @@
+"""Fourier-domain layers used by the neural-operator surrogates."""
+
+from __future__ import annotations
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import get_rng
+
+
+class SpectralConv2d(Module):
+    """2-D spectral convolution (the core block of the Fourier Neural Operator).
+
+    Complex channel-mixing weights act on the lowest ``modes`` frequencies of
+    the 2-D Fourier transform of the input.  Weights are stored as separate
+    real and imaginary parameters so the real-valued autograd engine can train
+    them.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, modes: tuple[int, int], rng=None):
+        super().__init__()
+        rng = get_rng(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.modes = tuple(modes)
+        shape = (in_channels, out_channels, 2 * modes[0], 2 * modes[1])
+        self.weight_real = Parameter(init.spectral_scale(shape, in_channels, rng=rng))
+        self.weight_imag = Parameter(init.spectral_scale(shape, in_channels, rng=rng))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.spectral_conv2d(x, self.weight_real, self.weight_imag, self.modes)
+
+
+class FactorizedSpectralConv2d(Module):
+    """Factorized spectral convolution (the F-FNO block).
+
+    Instead of a dense 2-D spectral kernel, two 1-D spectral convolutions are
+    applied independently along the two spatial axes and summed, which reduces
+    the parameter count from ``O(m1*m2)`` to ``O(m1 + m2)`` per channel pair.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, modes: tuple[int, int], rng=None):
+        super().__init__()
+        rng = get_rng(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.modes = tuple(modes)
+        shape_h = (in_channels, out_channels, 2 * modes[0])
+        shape_w = (in_channels, out_channels, 2 * modes[1])
+        self.weight_h_real = Parameter(init.spectral_scale(shape_h, in_channels, rng=rng))
+        self.weight_h_imag = Parameter(init.spectral_scale(shape_h, in_channels, rng=rng))
+        self.weight_w_real = Parameter(init.spectral_scale(shape_w, in_channels, rng=rng))
+        self.weight_w_imag = Parameter(init.spectral_scale(shape_w, in_channels, rng=rng))
+
+    def forward(self, x: Tensor) -> Tensor:
+        along_h = F.spectral_conv1d(
+            x, self.weight_h_real, self.weight_h_imag, self.modes[0], axis=-2
+        )
+        along_w = F.spectral_conv1d(
+            x, self.weight_w_real, self.weight_w_imag, self.modes[1], axis=-1
+        )
+        return along_h + along_w

@@ -1,0 +1,40 @@
+"""Differentiable design parametrizations and fabrication-aware transforms.
+
+MAPS-InvDes expresses a device design as a chain
+
+``theta  --P-->  rho  --G-->  rho_bar``
+
+where ``P`` maps latent design variables to a density pattern (density or
+level-set parametrization) and ``G`` is a sequence of differentiable
+projections (sub-pixel blur, symmetry, binarization, minimum-feature-size
+control) that close the gap between the numerically optimized pattern and the
+fabricated device.  All transforms operate on :class:`repro.autograd.Tensor`
+so the chain rule through the whole pipeline is automatic.
+"""
+
+from repro.parametrization.parametrization import (
+    DensityParametrization,
+    LevelSetParametrization,
+)
+from repro.parametrization.transforms import (
+    Transform,
+    BlurTransform,
+    BinarizationProjection,
+    SymmetryTransform,
+    MinimumFeatureSizeTransform,
+    TransformPipeline,
+)
+from repro.parametrization.analysis import binarization_level, minimum_feature_size
+
+__all__ = [
+    "DensityParametrization",
+    "LevelSetParametrization",
+    "Transform",
+    "BlurTransform",
+    "BinarizationProjection",
+    "SymmetryTransform",
+    "MinimumFeatureSizeTransform",
+    "TransformPipeline",
+    "binarization_level",
+    "minimum_feature_size",
+]

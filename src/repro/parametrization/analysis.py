@@ -1,0 +1,53 @@
+"""Non-differentiable analysis utilities for design patterns.
+
+These are measurement helpers (binarization level, minimum feature size) used
+for reporting, dataset labels and fabrication-constraint verification; the
+differentiable counterparts live in :mod:`repro.parametrization.transforms`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+
+def binarization_level(density: np.ndarray) -> float:
+    """How binary a pattern is: 1.0 for a perfect 0/1 pattern, 0.0 for all-0.5.
+
+    Computed as the mean of ``|2 rho - 1|``, which is the standard
+    "discreteness" measure of topology optimization.
+    """
+    density = np.asarray(density, dtype=float)
+    return float(np.mean(np.abs(2.0 * density - 1.0)))
+
+
+def minimum_feature_size(density: np.ndarray, threshold: float = 0.5) -> float:
+    """Approximate minimum feature size (in cells) of a binarized pattern.
+
+    The pattern is thresholded and the smallest of the maximum inscribed-circle
+    diameters over all connected components (solid and void) is returned.  A
+    fully uniform pattern has a single component spanning the whole region, so
+    its "feature size" is the inscribed diameter of the region itself.
+    """
+    density = np.asarray(density, dtype=float)
+    binary = density >= threshold
+
+    sizes: list[float] = []
+    for phase in (binary, ~binary):
+        if not phase.any():
+            continue
+        labels, count = ndimage.label(phase)
+        for component in range(1, count + 1):
+            mask = labels == component
+            # Maximum distance to the component boundary = inscribed radius.
+            distance = ndimage.distance_transform_edt(mask)
+            sizes.append(2.0 * float(distance.max()))
+    if not sizes:
+        return float("inf")
+    return float(min(sizes))
+
+
+def solid_fraction(density: np.ndarray, threshold: float = 0.5) -> float:
+    """Fraction of the design region filled with core material."""
+    density = np.asarray(density, dtype=float)
+    return float(np.mean(density >= threshold))

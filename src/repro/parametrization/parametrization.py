@@ -1,0 +1,82 @@
+"""Design-variable parametrizations: latent variables -> density in [0, 1]."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.utils.rng import get_rng
+
+
+class DensityParametrization:
+    """Pixel-wise density parametrization through a sigmoid squashing.
+
+    The latent variables ``theta`` are unbounded reals; the density is
+    ``rho = sigmoid(theta / temperature)``.  A temperature around 1 keeps the
+    mapping well conditioned while guaranteeing ``rho`` stays in ``(0, 1)``.
+    """
+
+    def __init__(self, shape: tuple[int, int], temperature: float = 1.0):
+        if len(shape) != 2:
+            raise ValueError(f"expected a 2-D design shape, got {shape}")
+        if temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {temperature}")
+        self.shape = tuple(shape)
+        self.temperature = float(temperature)
+
+    def initial_theta(self, density: np.ndarray) -> np.ndarray:
+        """Latent variables whose density equals ``density`` (inverse sigmoid)."""
+        density = np.clip(np.asarray(density, dtype=float), 1e-3, 1.0 - 1e-3)
+        if density.shape != self.shape:
+            raise ValueError(f"density shape {density.shape} does not match {self.shape}")
+        return self.temperature * np.log(density / (1.0 - density))
+
+    def __call__(self, theta: Tensor) -> Tensor:
+        if not isinstance(theta, Tensor):
+            theta = Tensor(theta)
+        if theta.shape != self.shape:
+            raise ValueError(f"theta shape {theta.shape} does not match {self.shape}")
+        return (theta * (1.0 / self.temperature)).sigmoid()
+
+
+class LevelSetParametrization:
+    """Level-set parametrization: the density is a smoothed sign of a level-set field.
+
+    ``rho = sigmoid(phi / width)`` where ``phi`` is the latent level-set
+    function and ``width`` controls the smoothness of the interface.  Shape
+    and size optimization correspond to deforming the zero contour of ``phi``.
+    """
+
+    def __init__(self, shape: tuple[int, int], interface_width: float = 0.5):
+        if len(shape) != 2:
+            raise ValueError(f"expected a 2-D design shape, got {shape}")
+        if interface_width <= 0:
+            raise ValueError(f"interface width must be positive, got {interface_width}")
+        self.shape = tuple(shape)
+        self.interface_width = float(interface_width)
+
+    def initial_theta(self, density: np.ndarray) -> np.ndarray:
+        """Signed level-set field reproducing ``density`` through the sigmoid."""
+        density = np.clip(np.asarray(density, dtype=float), 1e-3, 1.0 - 1e-3)
+        if density.shape != self.shape:
+            raise ValueError(f"density shape {density.shape} does not match {self.shape}")
+        return self.interface_width * np.log(density / (1.0 - density))
+
+    def circles_init(self, num_circles: int = 4, radius_cells: float = 3.0, rng=None) -> np.ndarray:
+        """A classic level-set initialization: a lattice of circular seed holes."""
+        rng = get_rng(rng)
+        h, w = self.shape
+        yy, xx = np.meshgrid(np.arange(h), np.arange(w), indexing="ij")
+        phi = np.full(self.shape, -radius_cells, dtype=float)
+        for _ in range(num_circles):
+            cy, cx = rng.uniform(0, h), rng.uniform(0, w)
+            dist = np.sqrt((yy - cy) ** 2 + (xx - cx) ** 2)
+            phi = np.maximum(phi, radius_cells - dist)
+        return phi
+
+    def __call__(self, phi: Tensor) -> Tensor:
+        if not isinstance(phi, Tensor):
+            phi = Tensor(phi)
+        if phi.shape != self.shape:
+            raise ValueError(f"phi shape {phi.shape} does not match {self.shape}")
+        return (phi * (1.0 / self.interface_width)).sigmoid()

@@ -1,0 +1,31 @@
+"""Neural-surrogate integration: AI models as drop-in replacements of the solver.
+
+* :class:`~repro.surrogate.neural_solver.NeuralFieldBackend` — a
+  :class:`repro.invdes.adjoint.FieldBackend` whose forward and adjoint fields
+  come from a trained field-prediction model, enabling fully NN-driven adjoint
+  inverse design (Fig. 6 of the paper).
+* :mod:`repro.surrogate.gradients` — the three design-gradient computation
+  methods compared in Table II: auto-diff through a black-box transmission
+  regressor, auto-diff through a field predictor, and the adjoint formula on
+  predicted forward + adjoint fields.
+"""
+
+from repro.surrogate.neural_solver import NeuralFieldBackend
+from repro.surrogate.gradients import (
+    gradient_numerical,
+    gradient_fwd_adj_field,
+    gradient_ad_pred_field,
+    gradient_ad_black_box,
+    GRADIENT_METHODS,
+    compute_gradient,
+)
+
+__all__ = [
+    "NeuralFieldBackend",
+    "gradient_numerical",
+    "gradient_fwd_adj_field",
+    "gradient_ad_pred_field",
+    "gradient_ad_black_box",
+    "GRADIENT_METHODS",
+    "compute_gradient",
+]

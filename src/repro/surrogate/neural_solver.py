@@ -1,0 +1,103 @@
+"""A trained field-prediction model wrapped as an inverse-design field backend.
+
+The backend reproduces the paper's final case study: the numerical solver in
+the adjoint loop is replaced by the neural operator for both the forward and
+the adjoint solves, while all derived quantities (magnetic fields, fluxes,
+modal overlaps, permittivity gradients) are computed with the same analytic
+formulas as in the numerical path.
+
+Scaling convention
+------------------
+Models are trained on amplitude-normalized pairs (see
+:func:`repro.data.labels.standardize_input` / ``field_target``): the source is
+divided by its maximum amplitude and the target field by the same amplitude
+times the dataset ``field_scale``.  Because Maxwell's equations are linear in
+the source, a prediction for an arbitrary source ``J`` is recovered as
+``Ez = model(standardize(J)) * field_scale * max|J|``.  The adjoint equation
+``A^T lam = g`` differs from the forward equation ``A e = i omega J`` only by
+the factor ``i omega``, so the adjoint field is obtained by treating ``g`` as a
+source and dividing the prediction by ``i omega``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.labels import standardize_input
+from repro.devices.base import TargetSpec
+from repro.fdfd.monitors import mode_overlap, poynting_flux_through_port
+from repro.fdfd.simulation import Simulation, SimulationResult
+from repro.invdes.adjoint import FieldBackend
+from repro.nn.module import Module
+from repro.train.trainer import predict
+from repro.utils.numerics import channels_to_complex
+
+
+class NeuralFieldBackend(FieldBackend):
+    """Forward/adjoint field computation with a trained neural operator.
+
+    Parameters
+    ----------
+    model:
+        A field-prediction model from :mod:`repro.train.models`.
+    field_scale:
+        The ``field_scale`` of the dataset the model was trained on.
+    """
+
+    def __init__(self, model: Module, field_scale: float = 1.0):
+        self.model = model
+        self.field_scale = float(field_scale)
+
+    # -- low-level prediction ---------------------------------------------------------
+    def predict_field(self, sim: Simulation, source: np.ndarray) -> np.ndarray:
+        """Predict the complex ``Ez`` produced by an arbitrary current source."""
+        source = np.asarray(source, dtype=complex)
+        amplitude = float(np.max(np.abs(source)))
+        if amplitude <= 0:
+            return np.zeros(sim.grid.shape, dtype=complex)
+        inputs = standardize_input(sim.eps_r, source, sim.wavelength, sim.grid.dl)
+        channels = predict(self.model, inputs)
+        return channels_to_complex(channels) * self.field_scale * amplitude
+
+    # -- FieldBackend interface ----------------------------------------------------------
+    def forward_fields(self, sim: Simulation, spec: TargetSpec) -> SimulationResult:
+        source = sim.mode_source(spec.source_port, spec.source_mode)
+        ez = self.predict_field(sim, source)
+        hx, hy = sim.solver.e_to_h(ez)
+        norm_flux, norm_overlap = sim._normalization(spec.source_port, spec.source_mode)
+
+        fluxes: dict[str, float] = {}
+        s_params: dict[str, complex] = {}
+        transmissions: dict[str, float] = {}
+        for name in spec.monitored_ports():
+            port = sim.ports[name]
+            flux = poynting_flux_through_port(ez, hx, hy, port, sim.grid)
+            fluxes[name] = float(flux)
+            modes = port.solve_modes(sim.eps_r, sim.grid, sim.omega, num_modes=1)
+            overlap = mode_overlap(ez, port, modes[0], sim.grid) if modes else 0.0j
+            s_params[name] = complex(overlap / norm_overlap) if norm_overlap else 0.0j
+            transmissions[name] = (
+                float(np.clip(flux / norm_flux, 0.0, None)) if norm_flux else 0.0
+            )
+
+        return SimulationResult(
+            ez=ez,
+            hx=hx,
+            hy=hy,
+            source=source,
+            wavelength=sim.wavelength,
+            source_port=spec.source_port,
+            source_mode=spec.source_mode,
+            fluxes=fluxes,
+            s_params=s_params,
+            transmissions=transmissions,
+            input_flux=norm_flux,
+            input_overlap=norm_overlap,
+        )
+
+    def adjoint_field(
+        self, sim: Simulation, spec: TargetSpec, adjoint_source: np.ndarray
+    ) -> np.ndarray:
+        prediction = self.predict_field(sim, adjoint_source)
+        # The model solves  A e = i omega J ; the adjoint system is  A lam = g.
+        return prediction / (1j * sim.omega)

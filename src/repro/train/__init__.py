@@ -1,0 +1,33 @@
+"""MAPS-Train: training infrastructure for AI-based photonic PDE surrogates.
+
+* :mod:`repro.train.models` — the baseline surrogates of the paper: FNO,
+  Factorized-FNO, UNet and NeurOLight, plus a black-box S-parameter regressor.
+* :mod:`repro.train.losses` — data-driven losses (normalized L2, NMSE) and the
+  physics-driven Maxwell-residual loss.
+* :mod:`repro.train.metrics` — standardized evaluation metrics: normalized L2
+  norm, S-parameter error and adjoint-gradient similarity.
+* :mod:`repro.train.trainer` — the training loop with hierarchical data
+  loading, learning-rate schedules and per-epoch evaluation.
+"""
+
+from repro.train.models import make_model, available_models
+from repro.train.losses import NormalizedL2Loss, NMSELoss, MaxwellResidualLoss
+from repro.train.metrics import (
+    normalized_l2_metric,
+    s_parameter_error,
+    transmission_error,
+)
+from repro.train.trainer import Trainer, TrainingHistory
+
+__all__ = [
+    "make_model",
+    "available_models",
+    "NormalizedL2Loss",
+    "NMSELoss",
+    "MaxwellResidualLoss",
+    "normalized_l2_metric",
+    "s_parameter_error",
+    "transmission_error",
+    "Trainer",
+    "TrainingHistory",
+]

@@ -1,0 +1,88 @@
+"""Model evaluation against the standardized MAPS-Train metrics.
+
+:func:`evaluate_model` reports the metric triple used in the paper's tables —
+train/test normalized L2 norm and test adjoint-gradient similarity — for any
+field-prediction model and dataset split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import PhotonicDataset
+from repro.devices.factory import make_device
+from repro.nn.module import Module
+from repro.train.metrics import normalized_l2_metric
+from repro.train.trainer import predict
+from repro.utils.numerics import cosine_similarity
+from repro.utils.rng import get_rng
+
+
+def field_prediction_error(model: Module, dataset: PhotonicDataset) -> float:
+    """Normalized L2 norm of the model's field predictions over a dataset."""
+    if len(dataset) == 0:
+        return float("nan")
+    predictions = predict(model, dataset.input_array())
+    return normalized_l2_metric(predictions, dataset.target_array())
+
+
+def gradient_similarity_score(
+    model: Module,
+    dataset: PhotonicDataset,
+    field_scale: float | None = None,
+    num_samples: int = 4,
+    rng=None,
+    device_kwargs: dict | None = None,
+) -> float:
+    """Mean cosine similarity between surrogate and FDFD adjoint gradients.
+
+    A handful of samples is drawn from the dataset (gradient evaluation costs
+    two linear solves per sample for the ground truth), the design gradient is
+    computed with the forward+adjoint-field method on the surrogate and with
+    the numerical solver, and the average cosine similarity is returned.
+    """
+    from repro.surrogate.gradients import gradient_fwd_adj_field, gradient_numerical
+
+    if len(dataset) == 0:
+        return float("nan")
+    field_scale = dataset.field_scale if field_scale is None else field_scale
+    rng = get_rng(rng)
+    count = min(num_samples, len(dataset))
+    indices = rng.choice(len(dataset), size=count, replace=False)
+    if device_kwargs is None:
+        # Device customizations (domain size, waveguide width, ...) are recorded
+        # in the dataset metadata by the generator.
+        device_kwargs = dataset.metadata.get("device_kwargs", {}) or {}
+    # The cell size always comes from the sample itself.
+    device_kwargs = {k: v for k, v in device_kwargs.items() if k not in ("dl", "fidelity")}
+
+    similarities = []
+    for index in indices:
+        sample = dataset[int(index)]
+        device = make_device(sample.device_name, dl=sample.dl, **device_kwargs)
+        spec = device.specs[sample.spec_index]
+        truth = gradient_numerical(device, sample.density, spec)
+        estimate = gradient_fwd_adj_field(model, field_scale, device, sample.density, spec)
+        similarities.append(cosine_similarity(estimate, truth))
+    return float(np.mean(similarities))
+
+
+def evaluate_model(
+    model: Module,
+    train_set: PhotonicDataset,
+    test_set: PhotonicDataset,
+    num_gradient_samples: int = 4,
+    rng=None,
+) -> dict[str, float]:
+    """The paper's metric triple: train/test N-L2 norm and test gradient similarity."""
+    return {
+        "train_n_l2": field_prediction_error(model, train_set),
+        "test_n_l2": field_prediction_error(model, test_set),
+        "grad_similarity": gradient_similarity_score(
+            model,
+            test_set,
+            field_scale=test_set.field_scale,
+            num_samples=num_gradient_samples,
+            rng=rng,
+        ),
+    }

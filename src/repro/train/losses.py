@@ -1,0 +1,151 @@
+"""Training losses: data-driven and physics-driven.
+
+All losses consume/return :class:`repro.autograd.Tensor` so they can be
+back-propagated through the surrogate models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.tensor import Tensor
+
+
+class NormalizedL2Loss:
+    """Per-sample normalized L2 distance, averaged over the batch.
+
+    ``L = mean_b ||pred_b - target_b|| / ||target_b||`` — the training loss and
+    evaluation metric used throughout the paper (``N-L2norm``).
+    """
+
+    def __init__(self, eps: float = 1e-8):
+        self.eps = eps
+
+    def __call__(self, pred: Tensor, target: Tensor) -> Tensor:
+        target = Tensor.ensure(target)
+        if pred.shape != target.shape:
+            raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+        batch = pred.shape[0]
+        diff = (pred - target).reshape(batch, -1)
+        target_flat = target.reshape(batch, -1)
+        num = ((diff * diff).sum(axis=1) + self.eps).sqrt()
+        den = ((target_flat * target_flat).sum(axis=1) + self.eps).sqrt()
+        return (num / den).mean()
+
+
+class NMSELoss:
+    """Normalized mean-squared error: ``mean_b ||pred-target||^2 / ||target||^2``."""
+
+    def __init__(self, eps: float = 1e-8):
+        self.eps = eps
+
+    def __call__(self, pred: Tensor, target: Tensor) -> Tensor:
+        target = Tensor.ensure(target)
+        if pred.shape != target.shape:
+            raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+        batch = pred.shape[0]
+        diff = (pred - target).reshape(batch, -1)
+        target_flat = target.reshape(batch, -1)
+        num = (diff * diff).sum(axis=1)
+        den = (target_flat * target_flat).sum(axis=1) + self.eps
+        return (num / den).mean()
+
+
+class MSELoss:
+    """Plain mean-squared error (useful for scalar regression heads)."""
+
+    def __call__(self, pred: Tensor, target: Tensor) -> Tensor:
+        if pred.shape != target.shape:
+            raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+        diff = pred - target
+        return (diff * diff).mean()
+
+
+def _sparse_matvec(matrix: sp.spmatrix, x: Tensor) -> Tensor:
+    """Differentiable ``matrix @ x`` for a constant real sparse matrix."""
+    matrix = matrix.tocsr()
+    data = matrix @ x.data
+
+    def backward(grad, accumulate):
+        accumulate(x, matrix.T @ np.asarray(grad))
+
+    return x._make_child(data, (x,), backward)
+
+
+class MaxwellResidualLoss:
+    """Physics-driven loss: the residual of the frequency-domain Maxwell equation.
+
+    For a predicted field ``Ez`` (2 real channels) the loss is
+    ``|| A Ez - i omega J || / || i omega J ||`` where ``A`` is the system
+    matrix of the sample's permittivity and ``J`` the injected source.  A
+    perfect prediction has zero residual independently of any field label, so
+    this term can supervise the model in a self-supervised fashion or be mixed
+    with the data-driven loss.
+
+    Because the system matrix is complex and the engine is real-valued, the
+    residual is evaluated on stacked real/imaginary parts of ``A``.
+    """
+
+    def __init__(self, weight: float = 1.0, eps: float = 1e-12):
+        self.weight = weight
+        self.eps = eps
+
+    def __call__(
+        self,
+        pred: Tensor,
+        system_matrix: sp.spmatrix,
+        source: np.ndarray,
+        omega: float,
+        field_scale: float = 1.0,
+    ) -> Tensor:
+        """Residual loss for a single sample.
+
+        Parameters
+        ----------
+        pred:
+            Predicted field channels of shape ``(2, H, W)`` (scaled by the
+            dataset field scale).
+        system_matrix:
+            Complex sparse Maxwell operator of the sample.
+        source:
+            Complex current density of the sample.
+        omega:
+            Angular frequency of the sample.
+        field_scale:
+            Scale factor mapping the model output back to physical fields.
+        """
+        if pred.ndim != 3 or pred.shape[0] != 2:
+            raise ValueError(f"expected a (2, H, W) prediction, got {pred.shape}")
+        n = pred.shape[1] * pred.shape[2]
+        flat = pred.reshape(2, n) * field_scale
+        real, imag = flat[0], flat[1]
+
+        a_real = sp.csr_matrix(system_matrix.real)
+        a_imag = sp.csr_matrix(system_matrix.imag)
+        # (A_r + i A_i)(e_r + i e_i) = (A_r e_r - A_i e_i) + i (A_r e_i + A_i e_r)
+        res_real = _sparse_matvec(a_real, real) - _sparse_matvec(a_imag, imag)
+        res_imag = _sparse_matvec(a_real, imag) + _sparse_matvec(a_imag, real)
+
+        rhs = 1j * omega * np.asarray(source).ravel()
+        res_real = res_real - rhs.real
+        res_imag = res_imag - rhs.imag
+        residual_norm = ((res_real * res_real).sum() + (res_imag * res_imag).sum()).sqrt()
+        rhs_norm = float(np.linalg.norm(rhs) + self.eps)
+        return residual_norm * (self.weight / rhs_norm)
+
+
+class CompositeLoss:
+    """Weighted sum of a data-driven loss and optional extra terms."""
+
+    def __init__(self, terms: list[tuple[float, object]]):
+        if not terms:
+            raise ValueError("composite loss needs at least one term")
+        self.terms = terms
+
+    def __call__(self, *args, **kwargs) -> Tensor:
+        total = None
+        for weight, term in self.terms:
+            value = term(*args, **kwargs) * weight
+            total = value if total is None else total + value
+        return total

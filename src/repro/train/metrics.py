@@ -1,0 +1,56 @@
+"""Standardized evaluation metrics of MAPS-Train.
+
+The three metric families of the paper:
+
+* field-prediction accuracy — normalized L2 norm between predicted and
+  ground-truth fields,
+* S-parameter / transmission prediction error,
+* adjoint-gradient similarity — the cosine similarity between the adjoint
+  gradient computed from predicted fields and the ground-truth gradient (the
+  metric that actually matters for inverse design; computed in
+  :mod:`repro.surrogate.gradients` and aggregated by
+  :func:`repro.train.evaluation.evaluate_model`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.numerics import cosine_similarity, normalized_l2
+
+
+def normalized_l2_metric(pred: np.ndarray, target: np.ndarray) -> float:
+    """Batch-averaged normalized L2 norm (``N-L2norm`` in the paper's tables)."""
+    pred = np.asarray(pred)
+    target = np.asarray(target)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    if pred.ndim == 3:
+        pred = pred[None]
+        target = target[None]
+    values = [normalized_l2(p, t) for p, t in zip(pred, target)]
+    return float(np.mean(values))
+
+
+def transmission_error(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error of scalar transmission predictions."""
+    pred = np.asarray(pred, dtype=float).ravel()
+    target = np.asarray(target, dtype=float).ravel()
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    return float(np.mean(np.abs(pred - target)))
+
+
+def s_parameter_error(pred: dict[str, complex], target: dict[str, complex]) -> float:
+    """Mean absolute error between complex S-parameters, averaged over ports."""
+    if set(pred) != set(target):
+        raise ValueError(f"port mismatch: {sorted(pred)} vs {sorted(target)}")
+    if not pred:
+        return 0.0
+    errors = [abs(pred[name] - target[name]) for name in pred]
+    return float(np.mean(errors))
+
+
+def gradient_similarity(pred_gradient: np.ndarray, true_gradient: np.ndarray) -> float:
+    """Cosine similarity between two design gradients (higher is better)."""
+    return cosine_similarity(pred_gradient, true_gradient)

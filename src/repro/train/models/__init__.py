@@ -1,0 +1,50 @@
+"""Surrogate model zoo.
+
+All field-prediction models share the same interface: input ``(B, 4, H, W)``
+(standardized permittivity + source channels, see
+:func:`repro.data.labels.standardize_input`) and output ``(B, 2, H, W)``
+(real/imaginary parts of the predicted ``Ez``).  The black-box model maps the
+same input to a scalar transmission prediction.
+"""
+
+from repro.train.models.fno import FNO2d
+from repro.train.models.ffno import FactorizedFNO2d
+from repro.train.models.unet import UNet2d
+from repro.train.models.neurolight import NeurOLight2d
+from repro.train.models.black_box import BlackBoxRegressor
+
+_MODELS = {
+    "fno": FNO2d,
+    "ffno": FactorizedFNO2d,
+    "f-fno": FactorizedFNO2d,
+    "unet": UNet2d,
+    "neurolight": NeurOLight2d,
+    "blackbox": BlackBoxRegressor,
+}
+
+
+def available_models() -> list[str]:
+    """Canonical model names."""
+    return ["fno", "ffno", "unet", "neurolight", "blackbox"]
+
+
+def make_model(name: str, in_channels: int = 4, out_channels: int = 2, **kwargs):
+    """Instantiate a surrogate model by name."""
+    key = name.lower().strip()
+    if key not in _MODELS:
+        raise ValueError(f"unknown model {name!r}; available: {available_models()}")
+    cls = _MODELS[key]
+    if cls is BlackBoxRegressor:
+        return cls(in_channels=in_channels, **kwargs)
+    return cls(in_channels=in_channels, out_channels=out_channels, **kwargs)
+
+
+__all__ = [
+    "FNO2d",
+    "FactorizedFNO2d",
+    "UNet2d",
+    "NeurOLight2d",
+    "BlackBoxRegressor",
+    "make_model",
+    "available_models",
+]

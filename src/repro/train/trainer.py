@@ -1,0 +1,164 @@
+"""Training loop for the surrogate models.
+
+The trainer consumes :class:`~repro.data.dataset.PhotonicDataset` splits
+(produced with device-level splitting), supports field-prediction and
+scalar-regression targets, data-driven and physics-augmented losses, cosine
+learning-rate schedules and per-epoch evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.data.dataset import PhotonicDataset
+from repro.nn import Adam, CosineSchedule, Module
+from repro.train.losses import MSELoss, NormalizedL2Loss
+from repro.train.metrics import normalized_l2_metric, transmission_error
+from repro.utils.rng import get_rng
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training curves."""
+
+    epochs: list[dict] = field(default_factory=list)
+
+    def append(self, record: dict) -> None:
+        self.epochs.append(record)
+
+    def __len__(self) -> int:
+        return len(self.epochs)
+
+    def final(self) -> dict:
+        if not self.epochs:
+            raise ValueError("history is empty")
+        return self.epochs[-1]
+
+    def curve(self, key: str) -> np.ndarray:
+        return np.array([e[key] for e in self.epochs if key in e])
+
+
+class Trainer:
+    """Train a surrogate model on a photonic dataset.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`repro.nn.Module` following the model-zoo interface.
+    train_set, test_set:
+        Datasets produced by :func:`repro.data.dataset.split_dataset`.
+    target:
+        ``"field"`` for field-prediction models (N-L2 loss on ``Ez``) or
+        ``"transmission"`` for black-box scalar regression (MSE loss).
+    learning_rate, weight_decay, batch_size, epochs:
+        The usual optimization hyper-parameters.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        train_set: PhotonicDataset,
+        test_set: PhotonicDataset | None = None,
+        target: str = "field",
+        learning_rate: float = 2e-3,
+        weight_decay: float = 0.0,
+        batch_size: int = 8,
+        epochs: int = 30,
+        loss=None,
+        seed: int = 0,
+    ):
+        if target not in ("field", "transmission"):
+            raise ValueError(f"target must be 'field' or 'transmission', got {target!r}")
+        if len(train_set) == 0:
+            raise ValueError("training set is empty")
+        self.model = model
+        self.train_set = train_set
+        self.test_set = test_set
+        self.target = target
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self.loss = loss if loss is not None else (NormalizedL2Loss() if target == "field" else MSELoss())
+        self.optimizer = Adam(model.parameters(), lr=learning_rate, weight_decay=weight_decay)
+        self.schedule = CosineSchedule(self.optimizer, total_epochs=max(epochs, 1))
+        self.rng = get_rng(seed)
+        self.history = TrainingHistory()
+
+    # -- batching helpers -----------------------------------------------------------
+    def _batch_targets(self, indices: np.ndarray) -> np.ndarray:
+        if self.target == "field":
+            return np.stack([self.train_set[i].target for i in indices], axis=0)
+        return np.array([self.train_set[i].transmission for i in indices])
+
+    # -- training -------------------------------------------------------------------
+    def train(self, verbose: bool = False) -> TrainingHistory:
+        """Run the full training loop and return the history."""
+        for epoch in range(self.epochs):
+            self.model.train()
+            epoch_losses = []
+            for inputs, targets, indices in self.train_set.batches(
+                self.batch_size, shuffle=True, rng=self.rng
+            ):
+                if self.target == "transmission":
+                    targets = np.array(
+                        [self.train_set[i].transmission for i in indices]
+                    )
+                prediction = self.model(Tensor(inputs))
+                loss = self.loss(prediction, Tensor(targets))
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                epoch_losses.append(loss.item())
+            self.schedule.step()
+
+            record = {"epoch": epoch, "train_loss": float(np.mean(epoch_losses))}
+            record.update({f"train_{k}": v for k, v in self.evaluate(self.train_set).items()})
+            if self.test_set is not None and len(self.test_set):
+                record.update({f"test_{k}": v for k, v in self.evaluate(self.test_set).items()})
+            self.history.append(record)
+            if verbose:
+                test_msg = (
+                    f"  test N-L2 {record.get('test_n_l2', float('nan')):.4f}"
+                    if "test_n_l2" in record
+                    else ""
+                )
+                print(
+                    f"[train] epoch {epoch:3d}  loss {record['train_loss']:.4f}"
+                    f"  train N-L2 {record.get('train_n_l2', float('nan')):.4f}{test_msg}"
+                )
+        return self.history
+
+    # -- inference / evaluation ------------------------------------------------------
+    def predict(self, inputs: np.ndarray, batch_size: int | None = None) -> np.ndarray:
+        """Model predictions for a stack of inputs (inference mode)."""
+        return predict(self.model, inputs, batch_size or self.batch_size)
+
+    def evaluate(self, dataset: PhotonicDataset) -> dict[str, float]:
+        """Standard metrics of the model on a dataset."""
+        if len(dataset) == 0:
+            return {}
+        inputs = dataset.input_array()
+        predictions = self.predict(inputs)
+        if self.target == "field":
+            targets = dataset.target_array()
+            return {"n_l2": normalized_l2_metric(predictions, targets)}
+        targets = dataset.transmission_array()
+        return {"mae": transmission_error(predictions, targets)}
+
+
+def predict(model: Module, inputs: np.ndarray, batch_size: int = 8) -> np.ndarray:
+    """Run a model over a stack of inputs without building the autograd graph."""
+    model.eval()
+    inputs = np.asarray(inputs)
+    single = inputs.ndim == 3
+    if single:
+        inputs = inputs[None]
+    outputs = []
+    with no_grad():
+        for start in range(0, inputs.shape[0], batch_size):
+            chunk = inputs[start : start + batch_size]
+            outputs.append(model(Tensor(chunk)).data)
+    result = np.concatenate(outputs, axis=0)
+    return result[0] if single else result

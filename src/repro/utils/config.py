@@ -1,0 +1,104 @@
+"""A light-weight configuration container.
+
+MAPS exposes "flexibly configurable" sampling, training and inverse-design
+pipelines.  :class:`Config` is a dictionary with attribute access, recursive
+merging and serialization — enough to describe the experiments in this
+reproduction without pulling in an external configuration framework.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from typing import Any, Iterator, Mapping
+
+
+class Config(dict):
+    """Dictionary with attribute access and recursive update.
+
+    Examples
+    --------
+    >>> cfg = Config(model=Config(name="fno", modes=8), lr=1e-3)
+    >>> cfg.model.name
+    'fno'
+    >>> cfg.merged(Config(model=Config(modes=12))).model.modes
+    12
+    """
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self[name]
+        except KeyError as exc:
+            raise AttributeError(name) from exc
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        self[name] = value
+
+    def __delattr__(self, name: str) -> None:
+        try:
+            del self[name]
+        except KeyError as exc:
+            raise AttributeError(name) from exc
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Config":
+        """Recursively convert a mapping (and nested mappings) into Configs."""
+        cfg = cls()
+        for key, value in data.items():
+            if isinstance(value, Mapping):
+                cfg[key] = cls.from_dict(value)
+            else:
+                cfg[key] = value
+        return cfg
+
+    def to_dict(self) -> dict:
+        """Recursively convert back to plain dictionaries."""
+        out: dict = {}
+        for key, value in self.items():
+            if isinstance(value, Config):
+                out[key] = value.to_dict()
+            else:
+                out[key] = value
+        return out
+
+    def merged(self, other: Mapping[str, Any]) -> "Config":
+        """Return a deep copy of ``self`` recursively updated with ``other``."""
+        result = copy.deepcopy(self)
+        result.update_recursive(other)
+        return result
+
+    def update_recursive(self, other: Mapping[str, Any]) -> None:
+        """Recursively update in place with values from ``other``."""
+        for key, value in other.items():
+            if (
+                key in self
+                and isinstance(self[key], Mapping)
+                and isinstance(value, Mapping)
+            ):
+                child = self[key]
+                if not isinstance(child, Config):
+                    child = Config.from_dict(child)
+                    self[key] = child
+                child.update_recursive(value)
+            elif isinstance(value, Mapping) and not isinstance(value, Config):
+                self[key] = Config.from_dict(value)
+            else:
+                self[key] = value
+
+    def to_json(self, **kwargs: Any) -> str:
+        """Serialize to a JSON string (non-serializable leaves become strings)."""
+        return json.dumps(self.to_dict(), default=str, **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Config":
+        """Deserialize from a JSON string produced by :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def flat_items(self, prefix: str = "") -> Iterator[tuple[str, Any]]:
+        """Iterate over ``(dotted_key, value)`` pairs of all leaves."""
+        for key, value in self.items():
+            dotted = f"{prefix}{key}"
+            if isinstance(value, Config):
+                yield from value.flat_items(prefix=dotted + ".")
+            else:
+                yield dotted, value

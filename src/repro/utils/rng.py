@@ -1,0 +1,44 @@
+"""Deterministic random-number handling.
+
+Every stochastic component in the package (sampling strategies, weight
+initialization, variation models) draws from a :class:`numpy.random.Generator`
+obtained through :func:`get_rng`, so experiments are reproducible from a single
+seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+_GLOBAL_SEED = 0
+
+
+def seed_everything(seed: int) -> None:
+    """Seed Python's and NumPy's global random state.
+
+    Components that accept an explicit ``rng`` argument are unaffected; this is
+    a convenience for scripts that rely on the module-level default generator.
+    """
+    global _GLOBAL_SEED
+    _GLOBAL_SEED = int(seed)
+    random.seed(seed)
+    np.random.seed(seed % (2**32 - 1))
+
+
+def get_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` uses the last value passed to :func:`seed_everything` (default
+        0); an integer seeds a fresh generator; an existing generator is
+        returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = _GLOBAL_SEED
+    return np.random.default_rng(int(seed))

@@ -1,0 +1,49 @@
+"""Shared fixtures: tiny devices and datasets sized for fast unit tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import split_dataset
+from repro.data.generator import generate_dataset
+from repro.devices import WaveguideBend, WaveguideCrossing
+
+
+TINY_DEVICE_KWARGS = dict(domain=3.0, design_size=1.4, dl=0.1)
+
+
+@pytest.fixture(scope="session")
+def tiny_bend() -> WaveguideBend:
+    """A small, fast-to-simulate bend used across the physics tests."""
+    return WaveguideBend(**TINY_DEVICE_KWARGS)
+
+
+@pytest.fixture(scope="session")
+def tiny_crossing() -> WaveguideCrossing:
+    """A small crossing (multiple monitor ports)."""
+    return WaveguideCrossing(**TINY_DEVICE_KWARGS)
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small labelled dataset on the tiny bend (random sampling, no gradients)."""
+    return generate_dataset(
+        "bending",
+        "random",
+        num_designs=6,
+        seed=0,
+        with_gradient=False,
+        device_kwargs=TINY_DEVICE_KWARGS,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_splits(tiny_dataset):
+    """Train/test split of the tiny dataset."""
+    return split_dataset(tiny_dataset, train_fraction=0.7, rng=0)

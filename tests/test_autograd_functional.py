@@ -1,0 +1,171 @@
+"""Gradient checks for the fused primitives: convolution, pooling, FFT operators."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradient, functional as F
+
+
+def tensor_of(shape, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return Tensor(scale * rng.normal(size=shape), requires_grad=True)
+
+
+class TestPadCrop:
+    def test_pad_values(self):
+        x = Tensor(np.ones((1, 1, 2, 2)))
+        out = F.pad2d(x, (1, 1, 2, 2), value=5.0)
+        assert out.shape == (1, 1, 4, 6)
+        assert out.data[0, 0, 0, 0] == 5.0
+        assert out.data[0, 0, 1, 2] == 1.0
+
+    def test_pad_gradient(self):
+        x = tensor_of((2, 3, 4, 5), seed=1)
+        assert check_gradient(lambda x: F.pad2d(x, (1, 0, 2, 1)), [x]) < 1e-6
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(ValueError):
+            F.pad2d(Tensor(np.ones((1, 1, 2, 2))), (-1, 0, 0, 0))
+
+    def test_crop(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = F.crop2d(x, (2, 3))
+        assert out.shape == (1, 1, 2, 3)
+
+    def test_crop_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            F.crop2d(Tensor(np.ones((1, 1, 2, 2))), (3, 2))
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_gradients(self, stride, padding):
+        x = tensor_of((2, 3, 6, 7), seed=0)
+        w = tensor_of((4, 3, 3, 3), seed=1)
+        b = tensor_of((4,), seed=2)
+        err = check_gradient(
+            lambda x, w, b: F.conv2d(x, w, b, stride=stride, padding=padding), [x, w, b]
+        )
+        assert err < 1e-4
+
+    def test_output_shape(self):
+        x = Tensor(np.zeros((1, 2, 8, 8)))
+        w = Tensor(np.zeros((5, 2, 3, 3)))
+        assert F.conv2d(x, w, None, stride=2, padding=1).shape == (1, 5, 4, 4)
+
+    def test_identity_kernel(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(1, 1, 5, 5)))
+        w = Tensor(np.ones((1, 1, 1, 1)))
+        np.testing.assert_allclose(F.conv2d(x, w).data, x.data)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 2, 4, 4))), Tensor(np.zeros((1, 3, 3, 3))))
+
+    def test_kernel_larger_than_input_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 1, 2, 2))), Tensor(np.zeros((1, 1, 5, 5))))
+
+
+class TestPoolingAndUpsampling:
+    def test_avg_pool_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = F.avg_pool2d(x, 2)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_gradient(self):
+        x = tensor_of((2, 3, 4, 6), seed=3)
+        assert check_gradient(lambda x: F.avg_pool2d(x, 2), [x]) < 1e-6
+
+    def test_avg_pool_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            F.avg_pool2d(Tensor(np.zeros((1, 1, 5, 4))), 2)
+
+    def test_upsample_values(self):
+        x = Tensor(np.array([[[[1.0, 2.0], [3.0, 4.0]]]]))
+        out = F.upsample_nearest(x, 2)
+        assert out.shape == (1, 1, 4, 4)
+        np.testing.assert_allclose(out.data[0, 0, :2, :2], 1.0)
+
+    def test_upsample_gradient(self):
+        x = tensor_of((1, 2, 3, 3), seed=4)
+        assert check_gradient(lambda x: F.upsample_nearest(x, 3), [x]) < 1e-6
+
+    def test_pool_then_upsample_preserves_mean(self):
+        x = tensor_of((1, 1, 4, 4), seed=5)
+        out = F.upsample_nearest(F.avg_pool2d(x, 2), 2)
+        assert out.data.mean() == pytest.approx(x.data.mean())
+
+
+class TestSpectralConv:
+    def test_spectral2d_gradient(self):
+        x = tensor_of((2, 2, 8, 8), seed=0)
+        wr = tensor_of((2, 3, 4, 4), seed=1, scale=0.1)
+        wi = tensor_of((2, 3, 4, 4), seed=2, scale=0.1)
+        err = check_gradient(lambda x, wr, wi: F.spectral_conv2d(x, wr, wi, (2, 2)), [x, wr, wi])
+        assert err < 1e-4
+
+    @pytest.mark.parametrize("axis", [-1, -2])
+    def test_spectral1d_gradient(self, axis):
+        x = tensor_of((2, 2, 8, 6), seed=0)
+        wr = tensor_of((2, 3, 4), seed=1, scale=0.1)
+        wi = tensor_of((2, 3, 4), seed=2, scale=0.1)
+        err = check_gradient(
+            lambda x, wr, wi: F.spectral_conv1d(x, wr, wi, 2, axis=axis), [x, wr, wi]
+        )
+        assert err < 1e-4
+
+    def test_spectral2d_output_shape(self):
+        x = Tensor(np.zeros((1, 3, 10, 12)))
+        wr = Tensor(np.zeros((3, 5, 6, 4)))
+        wi = Tensor(np.zeros((3, 5, 6, 4)))
+        assert F.spectral_conv2d(x, wr, wi, (3, 2)).shape == (1, 5, 10, 12)
+
+    def test_spectral2d_identity_weight_low_pass(self):
+        """Identity weights on all retained modes act as a spectral low-pass filter."""
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(1, 1, 16, 16)))
+        modes = (8, 8)
+        wr = np.zeros((1, 1, 16, 16))
+        wr[0, 0] = 1.0
+        out = F.spectral_conv2d(x, Tensor(wr), Tensor(np.zeros_like(wr)), modes)
+        # With all modes retained and unit weights the operation is the identity.
+        np.testing.assert_allclose(out.data, x.data, atol=1e-10)
+
+    def test_too_many_modes_rejected(self):
+        x = Tensor(np.zeros((1, 1, 8, 8)))
+        wr = Tensor(np.zeros((1, 1, 10, 10)))
+        with pytest.raises(ValueError):
+            F.spectral_conv2d(x, wr, wr, (5, 5))
+
+    def test_weight_shape_mismatch_rejected(self):
+        x = Tensor(np.zeros((1, 2, 8, 8)))
+        wr = Tensor(np.zeros((2, 2, 4, 2)))
+        with pytest.raises(ValueError):
+            F.spectral_conv2d(x, wr, wr, (2, 2))
+
+
+class TestDropoutSoftplus:
+    def test_dropout_eval_is_identity(self):
+        x = Tensor(np.ones((4, 4)))
+        out = F.dropout(x, 0.5, training=False, rng=np.random.default_rng(0))
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_dropout_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((2000,)))
+        out = F.dropout(x, 0.3, training=True, rng=rng)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, training=True, rng=np.random.default_rng(0))
+
+    def test_softplus_gradient(self):
+        x = tensor_of((3, 3), seed=6)
+        assert check_gradient(lambda x: F.softplus(x), [x]) < 1e-5
+
+    def test_softplus_positive(self):
+        out = F.softplus(Tensor(np.linspace(-10, 10, 21)))
+        assert (out.data > 0).all()

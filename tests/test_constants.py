@@ -1,0 +1,49 @@
+"""Tests for physical constants and unit conversions."""
+
+import math
+
+import pytest
+
+from repro import constants
+
+
+def test_speed_of_light_relation():
+    assert constants.EPSILON_0 * constants.MU_0 * constants.C_0**2 == pytest.approx(1.0)
+
+
+def test_impedance_of_free_space():
+    assert constants.ETA_0 == pytest.approx(376.73, rel=1e-3)
+
+
+def test_material_permittivities():
+    assert constants.EPS_SI == pytest.approx(constants.N_SI**2)
+    assert constants.EPS_SIO2 == pytest.approx(constants.N_SIO2**2)
+    assert constants.EPS_SI > constants.EPS_SIO2 > constants.EPS_AIR
+
+
+def test_wavelength_to_omega_roundtrip():
+    omega = constants.wavelength_to_omega(1.55)
+    assert constants.omega_to_wavelength(omega) == pytest.approx(1.55)
+
+
+def test_wavelength_to_omega_value():
+    omega = constants.wavelength_to_omega(1.55)
+    expected = 2 * math.pi * constants.C_0 / 1.55e-6
+    assert omega == pytest.approx(expected)
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0])
+def test_wavelength_to_omega_rejects_nonpositive(bad):
+    with pytest.raises(ValueError):
+        constants.wavelength_to_omega(bad)
+
+
+@pytest.mark.parametrize("bad", [0.0, -5.0])
+def test_omega_to_wavelength_rejects_nonpositive(bad):
+    with pytest.raises(ValueError):
+        constants.omega_to_wavelength(bad)
+
+
+def test_wdm_wavelengths_bracket_default():
+    low, high = constants.WDM_WAVELENGTHS
+    assert low < constants.DEFAULT_WAVELENGTH < high

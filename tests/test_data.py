@@ -1,0 +1,228 @@
+"""Tests for MAPS-Data: labels, sampling strategies, datasets and analysis."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DatasetGenerator,
+    OptTrajSampling,
+    PerturbedOptTrajSampling,
+    PhotonicDataset,
+    RandomSampling,
+    extract_labels,
+    make_sampler,
+    split_dataset,
+    standardize_input,
+)
+from repro.data.analysis import (
+    distribution_balance,
+    fom_coverage,
+    pattern_embedding,
+    transmission_histogram,
+)
+from repro.data.generator import GeneratorConfig, generate_dataset
+from repro.data.labels import field_target
+
+from tests.conftest import TINY_DEVICE_KWARGS
+
+
+class TestLabels:
+    @pytest.fixture(scope="class")
+    def labels(self, tiny_bend):
+        density = np.full(tiny_bend.design_shape, 0.5)
+        return extract_labels(tiny_bend, density, spec=0, with_gradient=True, stage="test")
+
+    def test_all_fields_present(self, labels, tiny_bend):
+        assert labels.ez.shape == tiny_bend.grid.shape
+        assert labels.hx.shape == tiny_bend.grid.shape
+        assert labels.eps_r.shape == tiny_bend.grid.shape
+        assert labels.adjoint_gradient.shape == tiny_bend.design_shape
+        assert labels.device_name == "bending"
+        assert labels.stage == "test"
+
+    def test_figure_of_merit_consistent_with_transmissions(self, labels):
+        assert labels.figure_of_merit == pytest.approx(labels.transmissions["out"], rel=1e-9)
+
+    def test_maxwell_residual_small(self, labels):
+        assert labels.maxwell_residual < 1e-10
+
+    def test_radiation_complements_transmission(self, labels):
+        assert labels.radiation == pytest.approx(1.0 - labels.total_transmission(), abs=1e-9)
+
+    def test_without_gradient(self, tiny_bend):
+        labels = extract_labels(
+            tiny_bend, np.full(tiny_bend.design_shape, 0.5), spec=0, with_gradient=False
+        )
+        assert labels.adjoint_gradient is None
+
+    def test_standardize_input_layout(self, labels):
+        inputs = standardize_input(labels.eps_r, labels.source, labels.wavelength, labels.dl)
+        assert inputs.shape == (4,) + labels.eps_r.shape
+        assert inputs[0].max() <= 1.0
+        assert np.abs(inputs[1:3]).max() == pytest.approx(1.0)
+        np.testing.assert_allclose(inputs[3], labels.dl / labels.wavelength)
+
+    def test_field_target_scaling(self, labels):
+        target = field_target(labels.ez, field_scale=2.0, source=labels.source)
+        amplitude = np.max(np.abs(labels.source))
+        np.testing.assert_allclose(target[0], labels.ez.real / (2.0 * amplitude))
+
+
+class TestSampling:
+    def test_random_sampling_shapes_and_range(self, tiny_bend):
+        samples = RandomSampling().sample(tiny_bend, 5, rng=0)
+        assert len(samples) == 5
+        for sample in samples:
+            assert sample.density.shape == tiny_bend.design_shape
+            assert sample.density.min() >= 0.0 and sample.density.max() <= 1.0
+            assert sample.stage == "random"
+
+    def test_random_sampling_mostly_binary(self, tiny_bend):
+        samples = RandomSampling(binarize=True).sample(tiny_bend, 3, rng=0)
+        for sample in samples:
+            assert set(np.unique(sample.density)) <= {0.0, 1.0}
+
+    def test_opt_traj_sampling_covers_low_and_high_fom(self, tiny_bend):
+        samples = OptTrajSampling(iterations=8).sample(tiny_bend, 9, rng=0)
+        foms = [s.fom_hint for s in samples if s.fom_hint is not None]
+        assert len(samples) <= 9
+        assert max(foms) > min(foms) + 0.1
+
+    def test_perturbed_sampling_mixes_stages(self, tiny_bend):
+        sampler = PerturbedOptTrajSampling(iterations=6, perturbation_fraction=0.5)
+        samples = sampler.sample(tiny_bend, 10, rng=0)
+        stages = {s.stage.split(":")[0] for s in samples}
+        assert "perturbed" in stages and "opt-traj" in stages
+        assert len(samples) == 10
+
+    def test_make_sampler_dispatch(self):
+        assert isinstance(make_sampler("random"), RandomSampling)
+        assert isinstance(make_sampler("opt_traj"), OptTrajSampling)
+        assert isinstance(make_sampler("perturbed_opt_traj"), PerturbedOptTrajSampling)
+        with pytest.raises(ValueError):
+            make_sampler("active_learning")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RandomSampling(smooth_cells=0.0)
+        with pytest.raises(ValueError):
+            OptTrajSampling(iterations=0)
+        with pytest.raises(ValueError):
+            PerturbedOptTrajSampling(perturbation_fraction=1.0)
+
+
+class TestDataset:
+    def test_sample_arrays(self, tiny_dataset):
+        assert len(tiny_dataset) > 0
+        assert tiny_dataset.input_array().shape[1] == 4
+        assert tiny_dataset.target_array().shape[1] == 2
+        assert tiny_dataset.fom_array().shape == (len(tiny_dataset),)
+
+    def test_batches_cover_dataset(self, tiny_dataset):
+        seen = []
+        for inputs, targets, indices in tiny_dataset.batches(2, shuffle=True, rng=0):
+            assert inputs.shape[0] == targets.shape[0] == len(indices)
+            seen.extend(indices.tolist())
+        assert sorted(seen) == list(range(len(tiny_dataset)))
+
+    def test_split_is_design_level(self, tiny_dataset):
+        train, test = split_dataset(tiny_dataset, 0.5, rng=0)
+        train_ids = {s.design_id for s in train}
+        test_ids = {s.design_id for s in test}
+        assert train_ids.isdisjoint(test_ids)
+        assert len(train) + len(test) == len(tiny_dataset)
+
+    def test_split_with_validation(self, tiny_dataset):
+        train, val, test = split_dataset(tiny_dataset, 0.5, val_fraction=0.2, rng=0)
+        assert len(train) + len(val) + len(test) == len(tiny_dataset)
+
+    def test_split_invalid_fractions(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            split_dataset(tiny_dataset, 0.0)
+        with pytest.raises(ValueError):
+            split_dataset(tiny_dataset, 0.9, val_fraction=0.5)
+
+    def test_save_load_roundtrip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "dataset.npz"
+        tiny_dataset.save(path)
+        loaded = PhotonicDataset.load(path)
+        assert len(loaded) == len(tiny_dataset)
+        assert loaded.field_scale == pytest.approx(tiny_dataset.field_scale)
+        np.testing.assert_allclose(loaded[0].inputs, tiny_dataset[0].inputs)
+        np.testing.assert_allclose(loaded[0].target, tiny_dataset[0].target)
+        assert loaded[0].device_name == tiny_dataset[0].device_name
+
+    def test_filter(self, tiny_dataset):
+        subset = tiny_dataset.filter(lambda s: s.design_id == 0)
+        assert all(s.design_id == 0 for s in subset)
+
+    def test_invalid_batch_size(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            list(tiny_dataset.batches(0))
+
+
+class TestGenerator:
+    def test_generate_counts(self):
+        dataset = generate_dataset(
+            "bending",
+            "random",
+            num_designs=3,
+            seed=1,
+            with_gradient=False,
+            device_kwargs=TINY_DEVICE_KWARGS,
+        )
+        # 3 designs x 1 spec x 1 fidelity.
+        assert len(dataset) == 3
+        assert dataset.metadata["strategy"] == "random"
+
+    def test_multi_fidelity_pairing(self):
+        config = GeneratorConfig(
+            device_name="bending",
+            strategy="random",
+            num_designs=2,
+            fidelities=("low", "high"),
+            with_gradient=False,
+            seed=0,
+            device_kwargs=dict(domain=2.5, design_size=1.2),
+        )
+        # Use explicit dl values to keep the high-fidelity grid small.
+        config.device_kwargs = dict(domain=2.5, design_size=1.2)
+        dataset = DatasetGenerator(config).generate()
+        assert len(dataset) == 4
+        by_fidelity = {}
+        for sample in dataset:
+            by_fidelity.setdefault(sample.fidelity, set()).add(sample.design_id)
+        assert by_fidelity["low"] == by_fidelity["high"]
+        shapes = {s.fidelity: s.grid_shape for s in dataset}
+        assert shapes["high"] != shapes["low"]
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(TypeError):
+            DatasetGenerator(num_design=3)
+
+
+class TestAnalysis:
+    def test_histogram_fractions_sum_to_one(self, tiny_dataset):
+        fractions, edges = transmission_histogram(tiny_dataset, bins=5)
+        assert fractions.sum() == pytest.approx(1.0)
+        assert len(edges) == 6
+
+    def test_histogram_invalid_kind(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            transmission_histogram(tiny_dataset, value="loss")
+
+    def test_balance_bounds(self, tiny_dataset):
+        balance = distribution_balance(tiny_dataset)
+        assert 0.0 <= balance <= 1.0
+
+    def test_fom_coverage_monotone_in_threshold(self, tiny_dataset):
+        assert fom_coverage(tiny_dataset, 0.1) >= fom_coverage(tiny_dataset, 0.9)
+
+    def test_pattern_embedding_shapes(self, tiny_dataset):
+        embedding = pattern_embedding({"a": tiny_dataset, "b": tiny_dataset})
+        assert embedding["a"].shape == (len(tiny_dataset), 2)
+        assert embedding["b"].shape == (len(tiny_dataset), 2)
+
+    def test_pattern_embedding_requires_data(self):
+        with pytest.raises(ValueError):
+            pattern_embedding({})

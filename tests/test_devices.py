@@ -1,0 +1,194 @@
+"""Tests for the benchmark device library."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.devices import (
+    ModeDemultiplexer,
+    ThermoOpticSwitch,
+    WaveguideBend,
+    available_devices,
+    make_device,
+)
+from repro.devices.base import FIDELITY_DL, TargetSpec
+
+from tests.conftest import TINY_DEVICE_KWARGS
+
+
+class TestFactory:
+    def test_available_devices_match_paper(self):
+        assert set(available_devices()) == {
+            "bending",
+            "crossing",
+            "optical_diode",
+            "mdm",
+            "wdm",
+            "tos",
+        }
+
+    @pytest.mark.parametrize("name", available_devices())
+    def test_all_devices_construct(self, name):
+        device = make_device(name, fidelity="low")
+        assert device.grid.n_points > 0
+        assert len(device.specs) >= 1
+        assert len(device.geometry.ports) >= 2
+
+    def test_aliases(self):
+        assert isinstance(make_device("bend"), WaveguideBend)
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(ValueError):
+            make_device("ring_resonator")
+
+    def test_unknown_fidelity_rejected(self):
+        with pytest.raises(ValueError):
+            make_device("bending", fidelity="ultra")
+
+
+class TestGeometry:
+    @pytest.mark.parametrize("name", available_devices())
+    def test_ports_reference_real_waveguides(self, name):
+        """Every port cross-section must guide at least one mode."""
+        device = make_device(name, fidelity="low")
+        eps = device.eps_with_design(np.zeros(device.design_shape))
+        omega = constants.wavelength_to_omega(device.specs[0].wavelength)
+        for port in device.geometry.ports:
+            modes = port.solve_modes(eps, device.grid, omega, num_modes=1)
+            assert modes, f"port {port.name} of {name} guides no mode"
+
+    @pytest.mark.parametrize("name", available_devices())
+    def test_spec_ports_exist(self, name):
+        device = make_device(name, fidelity="low")
+        port_names = {p.name for p in device.geometry.ports}
+        for spec in device.specs:
+            assert spec.source_port in port_names
+            assert set(spec.port_weights) <= port_names
+
+    def test_fidelity_changes_resolution(self):
+        low = make_device("bending", fidelity="low")
+        high = make_device("bending", fidelity="high")
+        assert low.dl == FIDELITY_DL["low"]
+        assert high.dl == FIDELITY_DL["high"]
+        assert high.grid.n_points > low.grid.n_points
+
+    def test_explicit_dl_overrides_fidelity(self):
+        device = make_device("bending", dl=0.08)
+        assert device.dl == pytest.approx(0.08)
+
+    def test_design_region_inside_interior(self):
+        device = make_device("crossing", fidelity="low")
+        mask = device.geometry.design_mask()
+        assert mask.any()
+        assert not (mask & ~device.grid.interior_mask()).any()
+
+    def test_eps_with_design_bounds(self):
+        device = make_device("bending", fidelity="low")
+        eps = device.eps_with_design(np.ones(device.design_shape))
+        sx, sy = device.geometry.design_slice
+        np.testing.assert_allclose(eps[sx, sy], device.geometry.eps_core)
+        eps0 = device.eps_with_design(np.zeros(device.design_shape))
+        np.testing.assert_allclose(eps0[sx, sy], device.geometry.eps_clad)
+
+    def test_eps_with_design_shape_check(self):
+        device = make_device("bending", fidelity="low")
+        with pytest.raises(ValueError):
+            device.eps_with_design(np.zeros((3, 3)))
+
+    def test_eps_with_design_range_check(self):
+        device = make_device("bending", fidelity="low")
+        with pytest.raises(ValueError):
+            device.eps_with_design(np.full(device.design_shape, 1.5))
+
+    def test_passive_device_rejects_state(self):
+        device = make_device("bending", fidelity="low")
+        with pytest.raises(ValueError):
+            device.apply_state(device.geometry.eps_background, {"heater": 1.0})
+
+
+class TestMultiplexedDevices:
+    def test_wdm_specs_use_two_wavelengths(self):
+        device = make_device("wdm", fidelity="low")
+        assert len(device.wavelengths) == 2
+        targets = {spec.wavelength: max(spec.port_weights, key=spec.port_weights.get) for spec in device.specs}
+        assert len(set(targets.values())) == 2
+
+    def test_mdm_input_guides_two_modes(self):
+        device = ModeDemultiplexer(fidelity="low")
+        eps = device.eps_with_design(np.zeros(device.design_shape))
+        omega = constants.wavelength_to_omega(device.specs[0].wavelength)
+        in_port = next(p for p in device.geometry.ports if p.name == "in")
+        modes = in_port.solve_modes(eps, device.grid, omega, num_modes=2)
+        assert len(modes) == 2
+
+    def test_mdm_specs_target_different_outputs(self):
+        device = make_device("mdm", fidelity="low")
+        targets = [max(s.port_weights, key=s.port_weights.get) for s in device.specs]
+        assert len(set(targets)) == 2
+        assert [s.source_mode for s in device.specs] == [0, 1]
+
+
+class TestThermoOpticSwitch:
+    def test_heater_changes_permittivity_only_under_heater(self):
+        device = ThermoOpticSwitch(fidelity="low")
+        eps = device.eps_with_design(np.full(device.design_shape, 0.5))
+        heated = device.apply_state(eps, {"heater": 1.0})
+        diff = heated - eps
+        heater_mask = np.zeros(device.grid.shape, dtype=bool)
+        heater_mask[device.heater_slice()] = True
+        assert np.allclose(diff[~heater_mask], 0.0)
+        assert np.allclose(diff[heater_mask], device.heater_delta_eps)
+
+    def test_zero_drive_is_identity(self):
+        device = ThermoOpticSwitch(fidelity="low")
+        eps = device.eps_with_design(np.full(device.design_shape, 0.5))
+        np.testing.assert_allclose(device.apply_state(eps, {"heater": 0.0}), eps)
+
+    def test_unknown_state_key_rejected(self):
+        device = ThermoOpticSwitch(fidelity="low")
+        eps = device.eps_with_design(np.full(device.design_shape, 0.5))
+        with pytest.raises(ValueError):
+            device.apply_state(eps, {"voltage": 1.0})
+
+    def test_specs_cover_both_states(self):
+        device = ThermoOpticSwitch(fidelity="low")
+        drives = sorted(spec.state.get("heater", 0.0) for spec in device.specs)
+        assert drives == [0.0, 1.0]
+
+    def test_equivalent_temperature_is_documented_as_exaggerated(self):
+        assert ThermoOpticSwitch.equivalent_temperature_shift(0.8) > 100.0
+
+
+class TestFigureOfMerit:
+    def test_tiny_bend_fom_in_unit_range(self, tiny_bend):
+        fom = tiny_bend.figure_of_merit(np.full(tiny_bend.design_shape, 0.5))
+        assert 0.0 <= fom <= 1.2
+
+    def test_full_design_beats_empty_design_for_crossing(self, tiny_crossing):
+        """A solid design slab transmits more across the crossing than pure cladding."""
+        empty = tiny_crossing.figure_of_merit(np.zeros(tiny_crossing.design_shape))
+        full = tiny_crossing.figure_of_merit(np.ones(tiny_crossing.design_shape))
+        assert full > empty
+
+    def test_simulate_spec_returns_monitored_ports(self, tiny_bend):
+        spec = tiny_bend.specs[0]
+        result = tiny_bend.simulate_spec(np.full(tiny_bend.design_shape, 0.5), spec)
+        assert set(result.transmissions) == set(spec.monitored_ports())
+
+    def test_initial_density_kinds(self, tiny_bend):
+        for kind in ("uniform", "random", "waveguide"):
+            density = tiny_bend.initial_density(kind=kind, rng=0)
+            assert density.shape == tiny_bend.design_shape
+            assert density.min() >= 0.0 and density.max() <= 1.0
+
+
+class TestTargetSpec:
+    def test_monitored_ports(self):
+        spec = TargetSpec(source_port="in", port_weights={"out": 1.0, "top": -0.5})
+        assert set(spec.monitored_ports()) == {"out", "top"}
+
+    def test_defaults(self):
+        spec = TargetSpec(source_port="in")
+        assert spec.wavelength == constants.DEFAULT_WAVELENGTH
+        assert spec.state == {}
+        assert spec.weight == 1.0

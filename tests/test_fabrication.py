@@ -1,0 +1,140 @@
+"""Tests for the fabrication and operating-condition variation models."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.autograd import Tensor, check_gradient
+from repro.fabrication import (
+    EtchModel,
+    FabricationCorner,
+    LithographyModel,
+    TemperatureDrift,
+    WavelengthDrift,
+    standard_corners,
+)
+from repro.parametrization.analysis import solid_fraction
+
+
+def _square_pattern(size=21, half=6):
+    pattern = np.zeros((size, size))
+    centre = size // 2
+    pattern[centre - half : centre + half, centre - half : centre + half] = 1.0
+    return pattern
+
+
+class TestLithography:
+    def test_output_range(self):
+        out = LithographyModel()(Tensor(_square_pattern())).data
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_nominal_dose_preserves_large_features(self):
+        pattern = _square_pattern()
+        printed = LithographyModel(blur_sigma_cells=1.0)(Tensor(pattern)).data
+        assert printed[10, 10] > 0.9
+        assert printed[0, 0] < 0.1
+
+    def test_overdose_grows_features(self):
+        pattern = _square_pattern()
+        nominal = LithographyModel(dose=1.0)(Tensor(pattern)).data
+        over = LithographyModel(dose=1.3)(Tensor(pattern)).data
+        assert solid_fraction(over) >= solid_fraction(nominal)
+
+    def test_underdose_shrinks_features(self):
+        pattern = _square_pattern()
+        nominal = LithographyModel(dose=1.0)(Tensor(pattern)).data
+        under = LithographyModel(dose=0.7)(Tensor(pattern)).data
+        assert solid_fraction(under) <= solid_fraction(nominal)
+
+    def test_defocus_blurs_more(self):
+        pattern = _square_pattern()
+        sharp = LithographyModel(defocus=0.0, sharpness=4.0)(Tensor(pattern)).data
+        blurred = LithographyModel(defocus=3.0, sharpness=4.0)(Tensor(pattern)).data
+        assert blurred.std() < sharp.std() + 1e-9
+
+    def test_differentiable(self):
+        x = Tensor(np.random.default_rng(0).uniform(0, 1, (9, 9)), requires_grad=True)
+        assert check_gradient(lambda x: LithographyModel(blur_sigma_cells=1.0)(x), [x]) < 1e-4
+
+    def test_with_corner(self):
+        corner = LithographyModel().with_corner(defocus=2.0, dose=1.1)
+        assert corner.defocus == 2.0 and corner.dose == 1.1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LithographyModel(blur_sigma_cells=0.0)
+        with pytest.raises(ValueError):
+            LithographyModel(dose=0.0)
+        with pytest.raises(ValueError):
+            LithographyModel(sharpness=-1.0)
+
+
+class TestEtch:
+    def test_zero_bias_is_identity(self):
+        pattern = _square_pattern()
+        np.testing.assert_allclose(EtchModel(0.0)(Tensor(pattern)).data, pattern)
+
+    def test_over_etch_shrinks(self):
+        pattern = _square_pattern()
+        etched = EtchModel(bias_cells=2.0)(Tensor(pattern)).data
+        assert solid_fraction(etched) < solid_fraction(pattern)
+
+    def test_under_etch_grows(self):
+        pattern = _square_pattern()
+        grown = EtchModel(bias_cells=-2.0)(Tensor(pattern)).data
+        assert solid_fraction(grown) > solid_fraction(pattern)
+
+    def test_differentiable(self):
+        x = Tensor(np.random.default_rng(0).uniform(0, 1, (9, 9)), requires_grad=True)
+        assert check_gradient(lambda x: EtchModel(1.0)(x), [x]) < 1e-4
+
+    def test_invalid_sharpness(self):
+        with pytest.raises(ValueError):
+            EtchModel(1.0, sharpness=0.0)
+
+
+class TestDrift:
+    def test_wavelength_drift(self):
+        assert WavelengthDrift(0.005).apply_wavelength(1.55) == pytest.approx(1.555)
+
+    def test_wavelength_drift_rejects_nonpositive_result(self):
+        with pytest.raises(ValueError):
+            WavelengthDrift(-2.0).apply_wavelength(1.55)
+
+    def test_temperature_drift_shifts_core_only(self):
+        eps = np.full((10, 10), constants.EPS_SIO2)
+        eps[4:6, :] = constants.EPS_SI
+        shifted = TemperatureDrift(50.0).apply_eps(eps)
+        np.testing.assert_allclose(shifted[0], constants.EPS_SIO2)
+        assert (shifted[4] > constants.EPS_SI).all()
+
+    def test_temperature_drift_magnitude(self):
+        eps = np.array([[constants.EPS_SI]])
+        shifted = TemperatureDrift(100.0).apply_eps(eps)
+        expected = constants.EPS_SI + 2 * constants.N_SI * constants.DN_DT_SI * 100.0
+        assert shifted[0, 0] == pytest.approx(expected, rel=1e-6)
+
+    def test_zero_drift_is_identity(self):
+        eps = np.full((5, 5), constants.EPS_SI)
+        np.testing.assert_allclose(TemperatureDrift(0.0).apply_eps(eps), eps)
+
+
+class TestCorners:
+    def test_standard_corner_set(self):
+        corners = standard_corners()
+        names = {c.name for c in corners}
+        assert {"nominal", "over_etch", "under_etch", "wavelength_drift", "temperature_drift"} <= names
+        nominal = next(c for c in corners if c.name == "nominal")
+        assert nominal.weight > max(c.weight for c in corners if c.name != "nominal") - 1e-12
+
+    def test_corner_pipeline_applies_transforms(self):
+        corner = FabricationCorner(name="test", pattern_transforms=[EtchModel(2.0)])
+        pattern = _square_pattern()
+        out = corner.pipeline()(Tensor(pattern)).data
+        assert solid_fraction(out) < solid_fraction(pattern)
+
+    def test_corner_pattern_output_stays_in_unit_range(self):
+        pattern = Tensor(_square_pattern())
+        for corner in standard_corners():
+            out = corner.pipeline()(pattern).data
+            assert out.min() >= -1e-9 and out.max() <= 1.0 + 1e-9

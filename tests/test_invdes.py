@@ -1,0 +1,233 @@
+"""Tests for MAPS-InvDes: objectives, adjoint gradients, optimization, robustness."""
+
+import numpy as np
+import pytest
+
+from repro.fabrication import EtchModel, FabricationCorner, LithographyModel, WavelengthDrift
+from repro.invdes import (
+    AdjointOptimizer,
+    InverseDesignProblem,
+    RobustInverseDesignProblem,
+    evaluate_spec,
+    initial_density,
+)
+from repro.invdes.adjoint import evaluate_all_specs
+from repro.invdes.objectives import objective_for_spec
+from repro.parametrization.transforms import (
+    BinarizationProjection,
+    BlurTransform,
+    TransformPipeline,
+)
+
+
+@pytest.fixture(scope="module")
+def bend_density(tiny_bend):
+    rng = np.random.default_rng(3)
+    return np.clip(0.5 + 0.15 * rng.normal(size=tiny_bend.design_shape), 0.0, 1.0)
+
+
+class TestAdjointGradients:
+    @pytest.mark.parametrize("kind", ["mode", "flux"])
+    def test_adjoint_matches_finite_difference(self, tiny_bend, bend_density, kind):
+        spec = tiny_bend.specs[0]
+        objective = objective_for_spec(spec, kind=kind)
+        evaluation = evaluate_spec(tiny_bend, bend_density, spec, objective=objective)
+        step = 1e-4
+        rng = np.random.default_rng(0)
+        pixels = [tuple(rng.integers(0, s) for s in tiny_bend.design_shape) for _ in range(3)]
+        for pixel in pixels:
+            plus = bend_density.copy()
+            plus[pixel] += step
+            minus = bend_density.copy()
+            minus[pixel] -= step
+            f_plus = evaluate_spec(
+                tiny_bend, plus, spec, objective=objective, compute_gradient=False
+            ).objective_value
+            f_minus = evaluate_spec(
+                tiny_bend, minus, spec, objective=objective, compute_gradient=False
+            ).objective_value
+            numeric = (f_plus - f_minus) / (2 * step)
+            analytic = evaluation.grad_density[pixel]
+            assert analytic == pytest.approx(numeric, rel=1e-3, abs=1e-9)
+
+    def test_gradient_shape(self, tiny_bend, bend_density):
+        evaluation = evaluate_spec(tiny_bend, bend_density, tiny_bend.specs[0])
+        assert evaluation.grad_density.shape == tiny_bend.design_shape
+
+    def test_skip_gradient_flag(self, tiny_bend, bend_density):
+        evaluation = evaluate_spec(
+            tiny_bend, bend_density, tiny_bend.specs[0], compute_gradient=False
+        )
+        assert np.allclose(evaluation.grad_density, 0.0)
+        assert evaluation.adjoint_field is None
+
+    def test_evaluate_all_specs_normalization(self, tiny_bend, bend_density):
+        fom, grad, evaluations = evaluate_all_specs(tiny_bend, bend_density)
+        assert len(evaluations) == len(tiny_bend.specs)
+        assert grad.shape == tiny_bend.design_shape
+        assert -1.0 <= fom <= 1.5
+
+    def test_crossing_negative_weights_penalize_crosstalk(self, tiny_crossing, bend_density):
+        density = np.clip(
+            np.resize(bend_density, tiny_crossing.design_shape).astype(float), 0, 1
+        )
+        spec = tiny_crossing.specs[0]
+        evaluation = evaluate_spec(tiny_crossing, density, spec, compute_gradient=False)
+        assert set(evaluation.transmissions) == set(spec.monitored_ports())
+
+
+class TestProblem:
+    def test_value_and_grad_through_full_chain(self, tiny_bend):
+        """Finite-difference check through parametrization + transforms + adjoint."""
+        problem = InverseDesignProblem(
+            tiny_bend,
+            transforms=TransformPipeline([BlurTransform(1.2), BinarizationProjection(beta=4.0)]),
+        )
+        theta = problem.initial_theta("uniform")
+        fom, grad = problem.value_and_grad(theta)
+        assert grad.shape == theta.shape
+        index = (theta.shape[0] // 2, theta.shape[1] // 2)
+        step = 1e-3
+        plus = theta.copy()
+        plus[index] += step
+        minus = theta.copy()
+        minus[index] -= step
+        numeric = (problem.figure_of_merit(plus) - problem.figure_of_merit(minus)) / (2 * step)
+        assert grad[index] == pytest.approx(numeric, rel=5e-2, abs=1e-7)
+
+    def test_density_from_theta_in_unit_range(self, tiny_bend):
+        problem = InverseDesignProblem(tiny_bend)
+        density = problem.density_from_theta(problem.initial_theta("random", rng=0))
+        assert density.min() >= 0.0 and density.max() <= 1.0
+        assert density.shape == tiny_bend.design_shape
+
+    def test_set_binarization_beta(self, tiny_bend):
+        problem = InverseDesignProblem(tiny_bend)
+        problem.set_binarization_beta(32.0)
+        betas = [t.beta for t in problem.transforms if isinstance(t, BinarizationProjection)]
+        assert betas == [32.0]
+
+    def test_transmission_labels_present(self, tiny_bend):
+        problem = InverseDesignProblem(tiny_bend)
+        evaluation = problem.evaluate(problem.initial_theta("waveguide"), compute_gradient=False)
+        assert any(key.endswith("->out") for key in evaluation.transmissions)
+
+
+class TestOptimizer:
+    def test_optimization_improves_fom(self, tiny_bend):
+        problem = InverseDesignProblem(tiny_bend)
+        optimizer = AdjointOptimizer(problem, learning_rate=0.2)
+        trajectory = optimizer.run(
+            theta0=problem.initial_theta("waveguide"), iterations=8
+        )
+        assert len(trajectory) == 9
+        assert trajectory.best().fom > trajectory[0].fom
+        assert trajectory.best().fom > 0.3
+
+    def test_trajectory_records_densities_and_foms(self, tiny_bend):
+        problem = InverseDesignProblem(tiny_bend)
+        trajectory = AdjointOptimizer(problem, learning_rate=0.2).run(
+            theta0=problem.initial_theta("uniform"), iterations=3
+        )
+        assert trajectory.foms.shape == (4,)
+        assert all(p.density.shape == tiny_bend.design_shape for p in trajectory)
+
+    def test_beta_schedule_applied(self, tiny_bend):
+        problem = InverseDesignProblem(tiny_bend)
+        optimizer = AdjointOptimizer(problem, learning_rate=0.2, beta_schedule={1: 24.0})
+        optimizer.run(theta0=problem.initial_theta("uniform"), iterations=2)
+        betas = [t.beta for t in problem.transforms if isinstance(t, BinarizationProjection)]
+        assert betas == [24.0]
+
+    def test_callback_invoked(self, tiny_bend):
+        problem = InverseDesignProblem(tiny_bend)
+        seen = []
+        AdjointOptimizer(problem, learning_rate=0.2).run(
+            theta0=problem.initial_theta("uniform"),
+            iterations=2,
+            callback=lambda i, ev: seen.append(i),
+        )
+        assert seen == [0, 1]
+
+    def test_invalid_learning_rate(self, tiny_bend):
+        with pytest.raises(ValueError):
+            AdjointOptimizer(InverseDesignProblem(tiny_bend), learning_rate=0.0)
+
+    def test_empty_trajectory_best_raises(self):
+        from repro.invdes.optimizer import OptimizationTrajectory
+
+        with pytest.raises(ValueError):
+            OptimizationTrajectory().best()
+
+
+class TestInitialization:
+    def test_uniform(self, tiny_bend):
+        density = initial_density(tiny_bend, "uniform", value=0.3)
+        np.testing.assert_allclose(density, 0.3)
+
+    def test_random_reproducible(self, tiny_bend):
+        a = initial_density(tiny_bend, "random", rng=5)
+        b = initial_density(tiny_bend, "random", rng=5)
+        np.testing.assert_allclose(a, b)
+
+    def test_waveguide_connects_ports(self, tiny_bend):
+        density = initial_density(tiny_bend, "waveguide")
+        assert density.max() == pytest.approx(1.0)
+        assert density.mean() > 0.2
+
+    def test_waveguide_init_outperforms_uniform(self, tiny_bend):
+        uniform_fom = tiny_bend.figure_of_merit(initial_density(tiny_bend, "uniform"))
+        waveguide_fom = tiny_bend.figure_of_merit(initial_density(tiny_bend, "waveguide"))
+        assert waveguide_fom > uniform_fom
+
+    def test_unknown_kind_rejected(self, tiny_bend):
+        with pytest.raises(ValueError):
+            initial_density(tiny_bend, "spiral")
+
+
+class TestVariationAware:
+    @pytest.fixture(scope="class")
+    def small_corners(self):
+        litho = LithographyModel(blur_sigma_cells=1.0)
+        return [
+            FabricationCorner(name="nominal", pattern_transforms=[litho], weight=2.0),
+            FabricationCorner(name="over_etch", pattern_transforms=[litho, EtchModel(1.0)]),
+            FabricationCorner(
+                name="wavelength_drift",
+                pattern_transforms=[litho],
+                wavelength_drift=WavelengthDrift(0.01),
+            ),
+        ]
+
+    def test_corner_foms_reported(self, tiny_bend, small_corners):
+        robust = RobustInverseDesignProblem(
+            InverseDesignProblem(tiny_bend), corners=small_corners
+        )
+        theta = robust.initial_theta("waveguide")
+        foms = robust.corner_foms(theta)
+        assert set(foms) == {"nominal", "over_etch", "wavelength_drift"}
+        assert all(np.isfinite(v) for v in foms.values())
+
+    def test_robust_evaluation_weighted_average(self, tiny_bend, small_corners):
+        robust = RobustInverseDesignProblem(
+            InverseDesignProblem(tiny_bend), corners=small_corners
+        )
+        theta = robust.initial_theta("waveguide")
+        evaluation = robust.evaluate(theta, compute_gradient=False)
+        foms = robust.corner_foms(theta)
+        weights = {c.name: c.weight for c in small_corners}
+        expected = sum(foms[n] * w for n, w in weights.items()) / sum(weights.values())
+        assert evaluation.fom == pytest.approx(expected, rel=1e-6)
+
+    def test_robust_gradient_shape(self, tiny_bend, small_corners):
+        robust = RobustInverseDesignProblem(
+            InverseDesignProblem(tiny_bend), corners=small_corners
+        )
+        theta = robust.initial_theta("uniform")
+        fom, grad = robust.value_and_grad(theta)
+        assert grad.shape == theta.shape
+        assert np.isfinite(fom)
+
+    def test_empty_corner_list_rejected(self, tiny_bend):
+        with pytest.raises(ValueError):
+            RobustInverseDesignProblem(InverseDesignProblem(tiny_bend), corners=[])

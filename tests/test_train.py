@@ -1,0 +1,201 @@
+"""Tests for MAPS-Train: models, losses, metrics and the trainer."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.constants import wavelength_to_omega
+from repro.fdfd.solver import FdfdSolver
+from repro.train import (
+    MaxwellResidualLoss,
+    NMSELoss,
+    NormalizedL2Loss,
+    Trainer,
+    available_models,
+    make_model,
+    normalized_l2_metric,
+    s_parameter_error,
+    transmission_error,
+)
+from repro.train.losses import CompositeLoss, MSELoss
+from repro.train.models.neurolight import wave_prior_channels
+from repro.train.trainer import predict
+
+
+FIELD_MODELS = ["fno", "ffno", "unet", "neurolight"]
+
+
+class TestModels:
+    def test_available_models(self):
+        assert set(available_models()) == {"fno", "ffno", "unet", "neurolight", "blackbox"}
+
+    @pytest.mark.parametrize("name", FIELD_MODELS)
+    def test_field_model_shapes(self, name):
+        model = make_model(name, width=8, modes=(3, 3), rng=0) if name != "unet" else make_model(
+            name, base_width=8, rng=0
+        )
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 4, 20, 22)))
+        out = model(x)
+        assert out.shape == (2, 2, 20, 22)
+
+    def test_blackbox_output_shape_and_range(self):
+        model = make_model("blackbox", width=8, rng=0)
+        out = model(Tensor(np.random.default_rng(0).normal(size=(3, 4, 20, 20))))
+        assert out.shape == (3,)
+        assert (out.data >= 0).all() and (out.data <= 1).all()
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            make_model("transformer")
+
+    def test_models_accept_numpy_input(self):
+        model = make_model("fno", width=8, modes=(3, 3), rng=0)
+        out = model(np.zeros((1, 4, 16, 16)))
+        assert out.shape == (1, 2, 16, 16)
+
+    def test_ffno_fewer_parameters_than_fno(self):
+        fno = make_model("fno", width=16, modes=(6, 6), depth=3, rng=0)
+        ffno = make_model("ffno", width=16, modes=(6, 6), depth=3, rng=0)
+        assert ffno.num_parameters() < fno.num_parameters()
+
+    def test_wave_prior_channels(self):
+        inputs = np.zeros((2, 4, 10, 12))
+        inputs[:, 0] = 0.5
+        inputs[:, 3] = 0.05
+        prior = wave_prior_channels(inputs)
+        assert prior.shape == (2, 4, 10, 12)
+        assert np.abs(prior).max() <= 1.0 + 1e-12
+
+    def test_model_gradients_flow_to_input(self):
+        """Needed by the AD-based gradient methods of Table II."""
+        model = make_model("fno", width=8, modes=(3, 3), depth=2, rng=0)
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 4, 12, 12)), requires_grad=True)
+        model(x).sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad).max() > 0
+
+
+class TestLosses:
+    def test_normalized_l2_perfect_prediction(self):
+        target = np.random.default_rng(0).normal(size=(2, 2, 8, 8))
+        loss = NormalizedL2Loss()(Tensor(target), Tensor(target))
+        assert loss.item() == pytest.approx(0.0, abs=1e-4)
+
+    def test_normalized_l2_zero_prediction_is_one(self):
+        target = np.random.default_rng(0).normal(size=(2, 2, 8, 8))
+        loss = NormalizedL2Loss()(Tensor(np.zeros_like(target)), Tensor(target))
+        assert loss.item() == pytest.approx(1.0, rel=1e-3)
+
+    def test_nmse_is_squared_version(self):
+        rng = np.random.default_rng(0)
+        pred, target = rng.normal(size=(1, 4, 4)), rng.normal(size=(1, 4, 4))
+        l2 = NormalizedL2Loss(eps=0)(Tensor(pred), Tensor(target)).item()
+        nmse = NMSELoss(eps=0)(Tensor(pred), Tensor(target)).item()
+        assert nmse == pytest.approx(l2**2, rel=1e-6)
+
+    def test_losses_reject_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            NormalizedL2Loss()(Tensor(np.zeros((1, 2))), Tensor(np.zeros((1, 3))))
+        with pytest.raises(ValueError):
+            MSELoss()(Tensor(np.zeros((1, 2))), Tensor(np.zeros((2, 2))))
+
+    def test_losses_are_differentiable(self):
+        pred = Tensor(np.random.default_rng(0).normal(size=(2, 2, 4, 4)), requires_grad=True)
+        target = Tensor(np.random.default_rng(1).normal(size=(2, 2, 4, 4)))
+        NormalizedL2Loss()(pred, target).backward()
+        assert pred.grad is not None
+
+    def test_composite_loss(self):
+        pred = Tensor(np.ones((1, 2)))
+        target = Tensor(np.zeros((1, 2)))
+        combined = CompositeLoss([(1.0, MSELoss()), (0.5, MSELoss())])
+        assert combined(pred, target).item() == pytest.approx(1.5)
+
+    def test_maxwell_residual_zero_for_true_field(self, tiny_bend):
+        """The physics loss vanishes on the actual FDFD solution."""
+        density = np.full(tiny_bend.design_shape, 0.5)
+        spec = tiny_bend.specs[0]
+        sim = tiny_bend.simulation(density, wavelength=spec.wavelength)
+        result = sim.solve(spec.source_port)
+        solver: FdfdSolver = sim.solver
+        matrix = solver.system_matrix(sim.eps_r)
+        pred = Tensor(np.stack([result.ez.real, result.ez.imag]), requires_grad=True)
+        loss = MaxwellResidualLoss()(
+            pred, matrix, result.source, wavelength_to_omega(spec.wavelength), field_scale=1.0
+        )
+        assert loss.item() < 1e-9
+        # A perturbed field has a visibly larger residual and a usable gradient.
+        noisy = Tensor(pred.data * 1.1, requires_grad=True)
+        noisy_loss = MaxwellResidualLoss()(
+            noisy, matrix, result.source, wavelength_to_omega(spec.wavelength), field_scale=1.0
+        )
+        assert noisy_loss.item() > loss.item()
+        noisy_loss.backward()
+        assert noisy.grad is not None
+
+    def test_maxwell_residual_shape_check(self):
+        with pytest.raises(ValueError):
+            MaxwellResidualLoss()(Tensor(np.zeros((3, 4, 4))), None, None, 1.0)
+
+
+class TestMetrics:
+    def test_normalized_l2_metric_batched(self):
+        target = np.random.default_rng(0).normal(size=(3, 2, 5, 5))
+        assert normalized_l2_metric(target, target) == pytest.approx(0.0, abs=1e-9)
+        assert normalized_l2_metric(np.zeros_like(target), target) == pytest.approx(1.0)
+
+    def test_transmission_error(self):
+        assert transmission_error([0.5, 0.7], [0.4, 0.9]) == pytest.approx(0.15)
+
+    def test_s_parameter_error(self):
+        pred = {"out": 0.5 + 0.5j}
+        target = {"out": 0.5 - 0.5j}
+        assert s_parameter_error(pred, target) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            s_parameter_error({"a": 1.0}, {"b": 1.0})
+
+
+class TestTrainer:
+    def test_training_reduces_loss(self, tiny_splits):
+        train, test = tiny_splits
+        model = make_model("fno", width=8, modes=(4, 4), depth=2, rng=0)
+        trainer = Trainer(model, train, test, epochs=4, batch_size=3, learning_rate=4e-3, seed=0)
+        history = trainer.train()
+        losses = history.curve("train_loss")
+        assert len(history) == 4
+        assert losses[-1] < losses[0]
+        assert "test_n_l2" in history.final()
+
+    def test_blackbox_training(self, tiny_splits):
+        train, test = tiny_splits
+        model = make_model("blackbox", width=8, rng=0)
+        trainer = Trainer(
+            model, train, test, target="transmission", epochs=3, batch_size=3, seed=0
+        )
+        history = trainer.train()
+        assert "train_mae" in history.final()
+
+    def test_predict_shapes(self, tiny_splits):
+        train, _ = tiny_splits
+        model = make_model("fno", width=8, modes=(4, 4), depth=2, rng=0)
+        single = predict(model, train[0].inputs)
+        batch = predict(model, train.input_array())
+        assert single.shape == train[0].target.shape
+        assert batch.shape == train.target_array().shape
+
+    def test_invalid_target_kind(self, tiny_splits):
+        train, _ = tiny_splits
+        with pytest.raises(ValueError):
+            Trainer(make_model("fno", rng=0), train, target="s_params")
+
+    def test_empty_training_set_rejected(self, tiny_dataset):
+        empty = tiny_dataset.filter(lambda s: False)
+        with pytest.raises(ValueError):
+            Trainer(make_model("fno", rng=0), empty)
+
+    def test_history_curves(self, tiny_splits):
+        train, _ = tiny_splits
+        model = make_model("unet", base_width=8, rng=0)
+        trainer = Trainer(model, train, epochs=2, batch_size=3, seed=0)
+        history = trainer.train()
+        assert history.curve("train_n_l2").shape == (2,)
