@@ -11,8 +11,12 @@ on the compute budget.
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.data.dataset import PhotonicDataset, split_dataset
 from repro.data.generator import generate_dataset
@@ -109,6 +113,28 @@ def train_model(model, dataset: PhotonicDataset, target: str = "field", seed: in
     )
     trainer.train()
     return trainer, train_set, test_set
+
+
+def write_bench_record(name: str, record: dict) -> Path:
+    """Write the standard ``BENCH_<name>.json`` record next to the benchmarks.
+
+    The record is wrapped with the benchmark name, the scale it ran at and
+    host/timestamp metadata so CI logs and local runs are comparable.
+    """
+    path = Path(__file__).parent / f"BENCH_{name}.json"
+    payload = {
+        "benchmark": name,
+        "scale": SCALE,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "processor": platform.processor() or "unknown",
+        },
+        "record": record,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def print_table(title: str, header: list[str], rows: list[list[str]]) -> None:

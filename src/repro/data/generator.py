@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.dataset import PhotonicDataset
-from repro.data.labels import extract_labels
+from repro.data.labels import extract_labels_batch
 from repro.data.sampling import DesignSample, SamplingStrategy, make_sampler
 from repro.devices.factory import make_device
 from repro.utils.numerics import resample_bilinear
@@ -89,17 +89,16 @@ class DatasetGenerator:
                     density = np.clip(
                         resample_bilinear(density, device.design_shape), 0.0, 1.0
                     )
-                for spec_index in range(len(device.specs)):
-                    label = extract_labels(
-                        device,
-                        density,
-                        spec=spec_index,
-                        with_gradient=config.with_gradient,
-                        fidelity=fidelity,
-                        stage=design.stage,
-                    )
-                    labels.append(label)
-                    design_ids.append(design_id)
+                # All specs of the design in one batched, factorize-once call.
+                design_labels = extract_labels_batch(
+                    device,
+                    density,
+                    with_gradient=config.with_gradient,
+                    fidelity=fidelity,
+                    stage=design.stage,
+                )
+                labels.extend(design_labels)
+                design_ids.extend([design_id] * len(design_labels))
 
         metadata = {
             "device": config.device_name,

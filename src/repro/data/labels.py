@@ -15,7 +15,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.devices.base import Device, TargetSpec
-from repro.invdes.adjoint import evaluate_spec
+from repro.fdfd.simulation import Simulation
+from repro.invdes.adjoint import FieldBackend, evaluate_specs, simulation_group_key
 
 
 @dataclass
@@ -51,15 +52,23 @@ class RichLabels:
         return float(sum(self.transmissions.values()))
 
 
-def extract_labels(
+def extract_labels_batch(
     device: Device,
     density: np.ndarray,
-    spec: TargetSpec | int = 0,
+    specs: list[TargetSpec | int] | None = None,
     with_gradient: bool = True,
     fidelity: str | None = None,
     stage: str = "unknown",
-) -> RichLabels:
-    """Simulate one design under one excitation spec and extract all labels.
+    backend: FieldBackend | None = None,
+) -> list[RichLabels]:
+    """Simulate one design under many excitation specs and extract all labels.
+
+    All specs of the design are evaluated through the batched adjoint path
+    (:func:`repro.invdes.adjoint.evaluate_specs`): specs sharing a wavelength
+    and device state are solved against one factorization, forward and adjoint
+    right-hand sides stacked into single multi-RHS solves.  This is how the
+    dataset generator labels every excitation of a design for the cost of one
+    factorization per operator.
 
     Parameters
     ----------
@@ -67,58 +76,113 @@ def extract_labels(
         The benchmark device (determines grid, ports and objective).
     density:
         Design density on the design region.
-    spec:
-        The excitation spec or its index in ``device.specs``.
+    specs:
+        Excitation specs, or their indices in ``device.specs``; all device
+        specs by default.
     with_gradient:
-        Include the adjoint gradient of the device objective (doubles the cost
-        of the sample: one extra linear solve).
+        Include the adjoint gradient of the device objective (adds one
+        back-substitution per sample to the batch).
     fidelity:
-        Fidelity tag stored with the sample (defaults to the device fidelity).
+        Fidelity tag stored with the samples (defaults to the device fidelity).
     stage:
-        Free-form tag describing where the sample came from (e.g.
+        Free-form tag describing where the design came from (e.g.
         ``"random"``, ``"opt-traj:12"``, ``"perturbed"``).
+    backend:
+        Field backend used for the solves (engine-backed numerical default).
     """
-    if isinstance(spec, int):
-        spec_index = spec
-        spec = device.specs[spec]
-    else:
-        spec_index = device.specs.index(spec)
+    if specs is None:
+        specs = list(range(len(device.specs)))
+    resolved: list[tuple[int, TargetSpec]] = []
+    for spec in specs:
+        if isinstance(spec, int):
+            resolved.append((spec, device.specs[spec]))
+        else:
+            resolved.append((device.specs.index(spec), spec))
 
-    evaluation = evaluate_spec(device, density, spec, compute_gradient=with_gradient)
-    result = evaluation.result
-    eps_r = device.apply_state(device.eps_with_design(density), spec.state)
-
-    # Figure of merit restricted to this spec, normalized like Device.figure_of_merit.
-    positive = max(sum(w for w in spec.port_weights.values() if w > 0), 1e-12)
-    weighted = sum(
-        w * result.transmissions.get(p, 0.0) for p, w in spec.port_weights.items()
+    evaluations = evaluate_specs(
+        device,
+        density,
+        specs=[spec for _, spec in resolved],
+        backend=backend,
+        compute_gradient=with_gradient,
     )
-    fom = float(weighted / positive)
 
-    sim = device.simulation(density, wavelength=spec.wavelength, state=spec.state)
-    residual = sim.maxwell_residual(result)
+    # Full-grid permittivities and residual simulations are shared across the
+    # specs of a design: one per device state / (wavelength, state) pair.
+    eps_by_state: dict[tuple, np.ndarray] = {}
+    sim_by_key: dict[tuple, object] = {}
 
-    return RichLabels(
-        device_name=device.name,
-        spec_index=spec_index,
-        wavelength=spec.wavelength,
-        dl=device.dl,
-        density=np.asarray(density, dtype=float).copy(),
-        eps_r=np.asarray(eps_r, dtype=float),
-        source=result.source,
-        ez=result.ez,
-        hx=result.hx,
-        hy=result.hy,
-        transmissions=dict(result.transmissions),
-        s_params=dict(result.s_params),
-        objective_value=evaluation.objective_value,
-        figure_of_merit=fom,
-        radiation=result.radiation,
-        adjoint_gradient=evaluation.grad_density if with_gradient else None,
-        maxwell_residual=residual,
-        fidelity=fidelity if fidelity is not None else device.fidelity,
+    labels = []
+    for (spec_index, spec), evaluation in zip(resolved, evaluations):
+        result = evaluation.result
+        sim_key = simulation_group_key(spec)
+        state_key = sim_key[1]
+        eps_r = eps_by_state.get(state_key)
+        if eps_r is None:
+            eps_r = device.apply_state(device.eps_with_design(density), spec.state)
+            eps_by_state[state_key] = eps_r
+
+        # Figure of merit restricted to this spec, normalized like
+        # Device.figure_of_merit.
+        positive = max(sum(w for w in spec.port_weights.values() if w > 0), 1e-12)
+        weighted = sum(
+            w * result.transmissions.get(p, 0.0) for p, w in spec.port_weights.items()
+        )
+        fom = float(weighted / positive)
+
+        sim = sim_by_key.get(sim_key)
+        if sim is None:
+            sim = Simulation(
+                device.grid, eps_r, spec.wavelength, device.geometry.ports
+            )
+            sim_by_key[sim_key] = sim
+        residual = sim.maxwell_residual(result)
+
+        labels.append(
+            RichLabels(
+                device_name=device.name,
+                spec_index=spec_index,
+                wavelength=spec.wavelength,
+                dl=device.dl,
+                density=np.asarray(density, dtype=float).copy(),
+                eps_r=np.asarray(eps_r, dtype=float),
+                source=result.source,
+                ez=result.ez,
+                hx=result.hx,
+                hy=result.hy,
+                transmissions=dict(result.transmissions),
+                s_params=dict(result.s_params),
+                objective_value=evaluation.objective_value,
+                figure_of_merit=fom,
+                radiation=result.radiation,
+                adjoint_gradient=evaluation.grad_density if with_gradient else None,
+                maxwell_residual=residual,
+                fidelity=fidelity if fidelity is not None else device.fidelity,
+                stage=stage,
+            )
+        )
+    return labels
+
+
+def extract_labels(
+    device: Device,
+    density: np.ndarray,
+    spec: TargetSpec | int = 0,
+    with_gradient: bool = True,
+    fidelity: str | None = None,
+    stage: str = "unknown",
+    backend: FieldBackend | None = None,
+) -> RichLabels:
+    """Labels for a single (design, excitation) pair (see :func:`extract_labels_batch`)."""
+    return extract_labels_batch(
+        device,
+        density,
+        specs=[spec],
+        with_gradient=with_gradient,
+        fidelity=fidelity,
         stage=stage,
-    )
+        backend=backend,
+    )[0]
 
 
 def standardize_input(

@@ -2,31 +2,77 @@
 
 The solver works with the Ez polarization (TM in the photonics convention:
 fields ``Ez``, ``Hx``, ``Hy``) on a uniform Yee grid with stretched-coordinate
-perfectly matched layers (SC-PML).  It provides:
+perfectly matched layers (SC-PML).
+
+Architecture — solver engines and fidelity tiers
+------------------------------------------------
+Every linear solve in the package flows through the pluggable engine layer in
+:mod:`repro.fdfd.engine`:
+
+* :class:`~repro.fdfd.engine.SolverEngine` — the fidelity seam: a batched
+  ``solve_batch(grid, omega, eps_r, rhs_stack)`` interface.
+* :class:`~repro.fdfd.engine.DirectEngine` — exact SuperLU solves; one
+  factorization per ``(grid, omega, permittivity)`` serves arbitrarily many
+  stacked right-hand sides (forward, adjoint and normalization solves).
+* :class:`~repro.fdfd.engine.IterativeEngine` — ILU-preconditioned
+  BiCGStab/GMRES, the cheap approximate tier.
+* ``"neural"`` — a trained surrogate (registered by :mod:`repro.surrogate`),
+  making fidelity selection (``"high"``/``"low"``/``"neural"``) a one-line
+  engine swap.
+* :class:`~repro.fdfd.engine.FactorizationCache` — a process-wide LRU keyed by
+  ``(grid, omega, eps fingerprint)``, shared by every engine instance so that
+  independent call sites (simulations, normalization runs, adjoint solves,
+  dataset generation) never duplicate a factorization.
+
+On top of the engines the package provides:
 
 * sparse assembly of the Maxwell operator ``A(eps_r)``,
-* direct forward solves ``A e = b`` for arbitrary current sources,
+* :class:`~repro.fdfd.solver.FdfdSolver`, a thin shim binding one
+  ``(grid, omega)`` pair to an engine, with batched multi-RHS entry points,
 * a 1-D slab eigenmode solver for waveguide port sources and modal overlaps,
 * flux and S-parameter monitors,
 * adjoint solves and permittivity gradients for inverse design, and
-* a high-level :class:`~repro.fdfd.simulation.Simulation` facade used by the
-  device library, the dataset generator and the inverse-design toolkit.
+* the high-level :class:`~repro.fdfd.simulation.Simulation` facade — including
+  :meth:`~repro.fdfd.simulation.Simulation.solve_multi`, which batches all
+  excitations of a device into one factorize-once/solve-many call — used by
+  the device library, the dataset generator and the inverse-design toolkit.
 """
 
 from repro.fdfd.grid import Grid
+from repro.fdfd.engine import (
+    DirectEngine,
+    FactorizationCache,
+    IterativeEngine,
+    SolverEngine,
+    available_engines,
+    default_factorization_cache,
+    eps_fingerprint,
+    make_engine,
+    resolve_engine,
+)
 from repro.fdfd.solver import FdfdSolver
 from repro.fdfd.modes import solve_slab_modes, ModeProfile
 from repro.fdfd.monitors import Port, poynting_flux_through_port, mode_overlap
-from repro.fdfd.simulation import Simulation, SimulationResult
+from repro.fdfd.simulation import ExcitationSpec, Simulation, SimulationResult
 
 __all__ = [
     "Grid",
     "FdfdSolver",
+    "SolverEngine",
+    "DirectEngine",
+    "IterativeEngine",
+    "FactorizationCache",
+    "default_factorization_cache",
+    "eps_fingerprint",
+    "make_engine",
+    "resolve_engine",
+    "available_engines",
     "solve_slab_modes",
     "ModeProfile",
     "Port",
     "poynting_flux_through_port",
     "mode_overlap",
+    "ExcitationSpec",
     "Simulation",
     "SimulationResult",
 ]

@@ -1,0 +1,454 @@
+"""Pluggable solver engines with a shared factorization cache.
+
+This module is the fidelity seam of the FDFD stack: everything that turns a
+right-hand side into a field — :class:`~repro.fdfd.solver.FdfdSolver`, the
+:class:`~repro.fdfd.simulation.Simulation` facade, normalization runs, the
+adjoint path in :mod:`repro.invdes.adjoint` and the dataset generator — routes
+its linear solves through a :class:`SolverEngine`.  Swapping the engine swaps
+the fidelity tier:
+
+* :class:`DirectEngine` — exact sparse solves via SuperLU.  One factorization
+  is computed per ``(grid, omega, permittivity)`` triple and reused for
+  arbitrarily many right-hand sides (forward, adjoint and normalization solves
+  are triangular back-substitutions against the same LU).
+* :class:`IterativeEngine` — BiCGStab/GMRES with an incomplete-LU
+  preconditioner: a cheap, approximate low-fidelity tier.
+* ``"neural"`` — a trained surrogate registered by
+  :mod:`repro.surrogate.neural_solver` (see :class:`NeuralEngine` there).
+
+Engines are stateless with respect to the problem: all per-operator state
+lives in the process-wide :class:`FactorizationCache`, keyed by the grid, the
+angular frequency and a cheap content fingerprint of the permittivity
+(:func:`eps_fingerprint`).  The cache is what lets independent call sites —
+a ``Simulation``, its normalization run, ``evaluate_spec``'s adjoint solve,
+the dataset generator — share one LU decomposition without coordinating.
+
+New backends (GPU solvers, sharded solvers, ...) register themselves with
+:func:`register_engine` and become available by name everywhere an engine is
+accepted (``Simulation(engine="...")``, ``FdfdSolver(engine=...)``,
+``NumericalFieldBackend(engine=...)``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.constants import EPSILON_0, MU_0
+from repro.fdfd.derivatives import derivative_operators
+from repro.fdfd.grid import Grid
+
+__all__ = [
+    "eps_fingerprint",
+    "operators",
+    "assemble_system_matrix",
+    "FactorizationCache",
+    "CacheStats",
+    "default_factorization_cache",
+    "SolverEngine",
+    "DirectEngine",
+    "IterativeEngine",
+    "CountingEngine",
+    "register_engine",
+    "available_engines",
+    "make_engine",
+    "resolve_engine",
+]
+
+
+# --------------------------------------------------------------------------- #
+# permittivity fingerprints
+# --------------------------------------------------------------------------- #
+def eps_fingerprint(eps_r: np.ndarray) -> str:
+    """Cheap content fingerprint of a permittivity map.
+
+    A hex digest over the raw bytes (plus shape and dtype, so reinterpreted
+    buffers cannot collide).  Unlike the full-array equality compare it
+    replaces, the digest doubles as a dictionary key, which is what allows a
+    process-wide cache shared between independent solver instances.
+    """
+    eps_r = np.ascontiguousarray(eps_r)
+    digest = hashlib.sha1()
+    digest.update(str(eps_r.shape).encode())
+    digest.update(str(eps_r.dtype).encode())
+    digest.update(eps_r.tobytes())
+    return digest.hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# operator assembly (shared, permittivity-independent parts cached)
+# --------------------------------------------------------------------------- #
+_OPERATOR_CACHE: dict[tuple[Grid, float], dict] = {}
+_OPERATOR_CACHE_MAX = 8
+
+
+def operators(grid: Grid, omega: float) -> dict:
+    """Derivative operators and the curl-curl block for ``(grid, omega)``.
+
+    The returned dict contains ``Dxf``/``Dxb``/``Dyf``/``Dyb`` and
+    ``curl_curl`` (the permittivity-independent part of the Maxwell operator).
+    Cached process-wide: every solver, normalization run and monitor working
+    on the same grid shares one set of sparse matrices.
+    """
+    key = (grid, float(omega))
+    entry = _OPERATOR_CACHE.get(key)
+    if entry is None:
+        derivs = derivative_operators(grid, float(omega))
+        derivs["curl_curl"] = (
+            derivs["Dxf"] @ derivs["Dxb"] + derivs["Dyf"] @ derivs["Dyb"]
+        ) / MU_0
+        if len(_OPERATOR_CACHE) >= _OPERATOR_CACHE_MAX:
+            _OPERATOR_CACHE.pop(next(iter(_OPERATOR_CACHE)))
+        _OPERATOR_CACHE[key] = entry = derivs
+    return entry
+
+
+def assemble_system_matrix(grid: Grid, omega: float, eps_r: np.ndarray) -> sp.csr_matrix:
+    """Assemble the Maxwell operator ``A(eps_r)`` for one grid and frequency."""
+    eps_r = np.asarray(eps_r)
+    if eps_r.shape != grid.shape:
+        raise ValueError(f"eps_r shape {eps_r.shape} does not match grid {grid.shape}")
+    diagonal = omega**2 * EPSILON_0 * eps_r.ravel()
+    return (operators(grid, omega)["curl_curl"] + sp.diags(diagonal)).tocsr()
+
+
+# --------------------------------------------------------------------------- #
+# factorization cache
+# --------------------------------------------------------------------------- #
+@dataclass
+class CacheStats:
+    """Hit/miss counters of a :class:`FactorizationCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def factorizations(self) -> int:
+        return self.misses
+
+
+class FactorizationCache:
+    """Process-wide LRU cache of sparse factorizations.
+
+    Keys are ``(grid, omega, eps fingerprint)``; values are whatever a solver
+    engine stores for that operator (a SuperLU object for the direct engine,
+    an incomplete LU plus the assembled matrix for the iterative one).  The
+    cache is deliberately engine-agnostic: entries are namespaced by a ``tag``
+    so direct and iterative factorizations of the same operator coexist.
+    """
+
+    def __init__(self, maxsize: int | None = None):
+        if maxsize is None:
+            maxsize = int(os.environ.get("REPRO_FACTORIZATION_CACHE_SIZE", "8"))
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self.stats = CacheStats()
+
+    @staticmethod
+    def _key(grid: Grid, omega: float, fingerprint: str, tag: str) -> tuple:
+        return (grid, float(omega), fingerprint, tag)
+
+    def get_or_build(
+        self,
+        grid: Grid,
+        omega: float,
+        fingerprint: str,
+        build,
+        tag: str = "direct",
+    ):
+        """Return the cached entry for the key, building it on a miss."""
+        key = self._key(grid, omega, fingerprint, tag)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+        self.stats.misses += 1
+        entry = build()
+        while len(self._entries) >= self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = entry
+        return entry
+
+    def peek(self, grid: Grid, omega: float, fingerprint: str, tag: str = "direct"):
+        """Return a cached entry without building or touching LRU order."""
+        return self._entries.get(self._key(grid, omega, fingerprint, tag))
+
+    def evict(self, grid: Grid, omega: float, fingerprint: str, tag: str | None = None) -> int:
+        """Drop entries for one operator (all tags unless one is given)."""
+        if tag is not None:
+            return 1 if self._entries.pop(self._key(grid, omega, fingerprint, tag), None) is not None else 0
+        prefix = (grid, float(omega), fingerprint)
+        stale = [key for key in self._entries if key[:3] == prefix]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop every cached factorization and reset the statistics."""
+        self._entries.clear()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+default_factorization_cache = FactorizationCache()
+"""The cache shared by every engine that is not given its own.
+
+Process-wide by design: up to ``maxsize`` factorizations stay alive for the
+life of the process (sized by ``REPRO_FACTORIZATION_CACHE_SIZE``, read when a
+cache is constructed — for this default, at import time).  Long-running
+programs that are done solving can release the memory explicitly with
+``default_factorization_cache.clear()``.
+"""
+
+
+# --------------------------------------------------------------------------- #
+# engines
+# --------------------------------------------------------------------------- #
+class SolverEngine:
+    """Interface of a fidelity tier: batched linear solves of ``A(eps) x = b``.
+
+    ``solve_batch`` receives the *full* right-hand side stack (any ``i omega``
+    source scaling is the caller's business), so the same call serves forward
+    solves (``b = i omega J``), adjoint solves (``b = dF/dEz``; the operator is
+    complex symmetric, ``A^T = A``) and normalization runs.
+    """
+
+    name: str = "abstract"
+
+    def solve_batch(
+        self,
+        grid: Grid,
+        omega: float,
+        eps_r: np.ndarray,
+        rhs: np.ndarray,
+        fingerprint: str | None = None,
+    ) -> np.ndarray:
+        """Solve ``A(eps_r) x = b`` for a stack of right-hand sides.
+
+        Parameters
+        ----------
+        grid, omega:
+            Discretization and angular frequency defining the operator.
+        eps_r:
+            Grid-shaped relative permittivity (real or complex).
+        rhs:
+            Right-hand sides, shape ``(n_rhs, nx, ny)`` (complex).
+        fingerprint:
+            Pre-computed :func:`eps_fingerprint` of ``eps_r``; computed on the
+            fly when omitted.  Callers that mutate permittivities in place are
+            responsible for passing an up-to-date fingerprint.
+
+        Returns
+        -------
+        np.ndarray
+            Solution stack of the same shape as ``rhs``.
+        """
+        raise NotImplementedError
+
+    # -- shared plumbing --------------------------------------------------------
+    @staticmethod
+    def _check_batch(grid: Grid, eps_r: np.ndarray, rhs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        eps_r = np.asarray(eps_r)
+        if eps_r.shape != grid.shape:
+            raise ValueError(f"eps_r shape {eps_r.shape} does not match grid {grid.shape}")
+        rhs = np.asarray(rhs, dtype=complex)
+        if rhs.ndim != 3 or rhs.shape[1:] != grid.shape:
+            raise ValueError(
+                f"rhs must be a stack shaped (n, {grid.nx}, {grid.ny}); got {rhs.shape}"
+            )
+        return eps_r, rhs
+
+
+class DirectEngine(SolverEngine):
+    """Exact sparse direct solves (SuperLU), factorize-once / solve-many.
+
+    All right-hand sides of a batch are solved in a single
+    ``lu.solve`` call on a 2-D RHS matrix, and the factorization itself is
+    shared across batches (and across engine instances using the same cache).
+    """
+
+    name = "direct"
+
+    def __init__(self, cache: FactorizationCache | None = None):
+        self.cache = cache if cache is not None else default_factorization_cache
+
+    def factorize(
+        self, grid: Grid, omega: float, eps_r: np.ndarray, fingerprint: str | None = None
+    ) -> spla.SuperLU:
+        """LU factorization of ``A(eps_r)``, shared through the cache."""
+        if fingerprint is None:
+            fingerprint = eps_fingerprint(eps_r)
+        return self.cache.get_or_build(
+            grid,
+            omega,
+            fingerprint,
+            lambda: spla.splu(assemble_system_matrix(grid, omega, eps_r).tocsc()),
+            tag="direct",
+        )
+
+    def solve_batch(self, grid, omega, eps_r, rhs, fingerprint=None):
+        eps_r, rhs = self._check_batch(grid, eps_r, rhs)
+        lu = self.factorize(grid, omega, eps_r, fingerprint)
+        # One back-substitution on an (n_points, n_rhs) matrix.
+        solutions = lu.solve(rhs.reshape(rhs.shape[0], -1).T)
+        return np.ascontiguousarray(solutions.T).reshape(rhs.shape)
+
+
+class IterativeEngine(SolverEngine):
+    """Approximate Krylov solves preconditioned with an incomplete LU.
+
+    The cheap low-fidelity tier: the ILU factorization is much sparser (and
+    faster to compute) than the exact LU, and the Krylov iteration stops at a
+    configurable residual tolerance.  The preconditioner is cached exactly
+    like the direct factorization, so batches still pay assembly and ILU once.
+    """
+
+    name = "iterative"
+
+    def __init__(
+        self,
+        method: str = "bicgstab",
+        rtol: float = 1e-8,
+        maxiter: int = 2000,
+        drop_tol: float = 1e-5,
+        fill_factor: float = 20.0,
+        cache: FactorizationCache | None = None,
+    ):
+        if method not in ("bicgstab", "gmres"):
+            raise ValueError(f"unknown Krylov method {method!r}; expected bicgstab or gmres")
+        self.method = method
+        self.rtol = float(rtol)
+        self.maxiter = int(maxiter)
+        self.drop_tol = float(drop_tol)
+        self.fill_factor = float(fill_factor)
+        self.cache = cache if cache is not None else default_factorization_cache
+
+    def _prepare(self, grid, omega, eps_r, fingerprint):
+        if fingerprint is None:
+            fingerprint = eps_fingerprint(eps_r)
+
+        def build():
+            matrix = assemble_system_matrix(grid, omega, eps_r).tocsc()
+            ilu = spla.spilu(matrix, drop_tol=self.drop_tol, fill_factor=self.fill_factor)
+            return matrix, ilu
+
+        return self.cache.get_or_build(grid, omega, fingerprint, build, tag="iterative")
+
+    def solve_batch(self, grid, omega, eps_r, rhs, fingerprint=None):
+        eps_r, rhs = self._check_batch(grid, eps_r, rhs)
+        matrix, ilu = self._prepare(grid, omega, eps_r, fingerprint)
+        preconditioner = spla.LinearOperator(matrix.shape, ilu.solve, dtype=complex)
+        krylov = spla.bicgstab if self.method == "bicgstab" else spla.gmres
+        solutions = np.empty_like(rhs)
+        for index, b in enumerate(rhs.reshape(rhs.shape[0], -1)):
+            x, info = krylov(matrix, b, rtol=self.rtol, maxiter=self.maxiter, M=preconditioner)
+            if info > 0:
+                raise RuntimeError(
+                    f"{self.method} did not converge to rtol={self.rtol} within "
+                    f"{self.maxiter} iterations (rhs {index})"
+                )
+            if info < 0:
+                raise RuntimeError(f"{self.method} failed with illegal input (info={info})")
+            solutions[index] = x.reshape(grid.shape)
+        return solutions
+
+
+class CountingEngine(SolverEngine):
+    """Test/diagnostic wrapper that records every solve going through it.
+
+    ``factorizations`` maps permittivity fingerprints to the number of times
+    the inner engine actually built a factorization for them;
+    ``solve_log`` records ``(fingerprint, n_rhs)`` per ``solve_batch`` call.
+    Used by the test-suite to prove factorize-once behaviour end to end.
+    """
+
+    name = "counting"
+
+    def __init__(self, inner: SolverEngine | None = None):
+        self.inner = inner if inner is not None else DirectEngine(cache=FactorizationCache())
+        self.solve_log: list[tuple[str, int]] = []
+        self.factorizations: dict[str, int] = {}
+
+    def solve_batch(self, grid, omega, eps_r, rhs, fingerprint=None):
+        if fingerprint is None:
+            fingerprint = eps_fingerprint(eps_r)
+        rhs = np.asarray(rhs, dtype=complex)
+        self.solve_log.append((fingerprint, rhs.shape[0]))
+        cache = getattr(self.inner, "cache", None)
+        misses_before = cache.stats.misses if cache is not None else 0
+        result = self.inner.solve_batch(grid, omega, eps_r, rhs, fingerprint=fingerprint)
+        if cache is not None and cache.stats.misses > misses_before:
+            self.factorizations[fingerprint] = self.factorizations.get(fingerprint, 0) + 1
+        return result
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+_ENGINE_FACTORIES: dict[str, object] = {}
+
+
+def register_engine(name: str, factory) -> None:
+    """Register an engine factory under a name (used by ``make_engine``)."""
+    _ENGINE_FACTORIES[name.lower().strip()] = factory
+
+
+def available_engines() -> list[str]:
+    """Names accepted by :func:`make_engine` / ``Simulation(engine=...)``."""
+    return sorted(_ENGINE_FACTORIES)
+
+
+def make_engine(name: str, **kwargs) -> SolverEngine:
+    """Instantiate a solver engine by name.
+
+    ``"direct"``/``"high"`` build the exact :class:`DirectEngine`,
+    ``"iterative"``/``"low"``/``"bicgstab"``/``"gmres"`` the approximate
+    :class:`IterativeEngine`, and ``"neural"`` the surrogate engine (requires
+    ``model=...``; registered when :mod:`repro.surrogate` is imported).
+    """
+    key = name.lower().strip()
+    if key not in _ENGINE_FACTORIES:
+        # The surrogate package registers the "neural" tier on import; do it
+        # lazily so plain FDFD users never pay for (or depend on) the NN
+        # stack.  Also run it before reporting an unknown name, so the error
+        # message lists every tier that actually exists.
+        try:
+            import repro.surrogate.neural_solver  # noqa: F401
+        except ImportError:  # pragma: no cover - NN stack unavailable
+            pass
+    if key not in _ENGINE_FACTORIES:
+        raise ValueError(f"unknown engine {name!r}; available: {available_engines()}")
+    return _ENGINE_FACTORIES[key](**kwargs)
+
+
+def resolve_engine(engine: SolverEngine | str | None, **kwargs) -> SolverEngine:
+    """Normalize an engine argument: instance, registry name or None (direct)."""
+    if engine is None:
+        return DirectEngine(**kwargs)
+    if isinstance(engine, str):
+        return make_engine(engine, **kwargs)
+    if isinstance(engine, SolverEngine):
+        return engine
+    raise TypeError(f"engine must be a SolverEngine, a name or None; got {type(engine)!r}")
+
+
+register_engine("direct", DirectEngine)
+register_engine("superlu", DirectEngine)
+register_engine("high", DirectEngine)
+register_engine("iterative", IterativeEngine)
+register_engine("low", IterativeEngine)
+register_engine("bicgstab", lambda **kw: IterativeEngine(method="bicgstab", **kw))
+register_engine("gmres", lambda **kw: IterativeEngine(method="gmres", **kw))

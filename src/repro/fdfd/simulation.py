@@ -1,9 +1,17 @@
 """High-level simulation facade used by devices, datasets and inverse design.
 
-:class:`Simulation` wires together the sparse solver, mode sources, monitors
+:class:`Simulation` wires together the solver engine, mode sources, monitors
 and normalization runs so that callers can ask directly for fields,
 transmissions and S-parameters of a device described by a permittivity map and
 a list of ports.
+
+All linear solves go through the pluggable engine layer
+(:mod:`repro.fdfd.engine`): ``Simulation(..., engine="iterative")`` or
+``engine="neural"`` swaps the fidelity tier without touching any other code.
+:meth:`Simulation.solve_multi` batches every excitation of a device into one
+factorize-once/solve-many call; normalization runs share the same process-wide
+factorization cache, so repeated simulations of the same feeding waveguide are
+back-substitutions rather than fresh factorizations.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.constants import wavelength_to_omega
+from repro.fdfd.engine import SolverEngine, eps_fingerprint
 from repro.fdfd.grid import Grid
 from repro.fdfd.modes import ModeProfile, mode_source_amplitude
 from repro.fdfd.monitors import Port, mode_overlap, poynting_flux_through_port
@@ -52,6 +61,20 @@ class SimulationResult:
         return max(0.0, 1.0 - self.total_transmission())
 
 
+@dataclass(frozen=True)
+class ExcitationSpec:
+    """One excitation of a :meth:`Simulation.solve_multi` batch.
+
+    ``source`` overrides the mode source (used when replaying stored dataset
+    samples); ``monitor_ports`` defaults to every port except the source port.
+    """
+
+    source_port: str
+    mode_index: int = 0
+    source: np.ndarray | None = None
+    monitor_ports: tuple[str, ...] | None = None
+
+
 class Simulation:
     """FDFD simulation of a device: permittivity map + ports + wavelength.
 
@@ -65,6 +88,9 @@ class Simulation:
         Operating free-space wavelength in micrometres.
     ports:
         All device ports.  The first port is the default source port.
+    engine:
+        Solver engine, engine name (``"direct"``, ``"iterative"``,
+        ``"neural"``, ...) or None for exact direct solves.
     """
 
     def __init__(
@@ -73,6 +99,7 @@ class Simulation:
         eps_r: np.ndarray,
         wavelength: float,
         ports: list[Port],
+        engine: SolverEngine | str | None = None,
     ):
         eps_r = np.asarray(eps_r, dtype=float)
         if eps_r.shape != grid.shape:
@@ -87,19 +114,55 @@ class Simulation:
         self.wavelength = float(wavelength)
         self.omega = wavelength_to_omega(wavelength)
         self.ports = {p.name: p for p in ports}
-        self.solver = FdfdSolver(grid, self.omega)
+        self.solver = FdfdSolver(grid, self.omega, engine=engine)
+        self._eps_fingerprint = eps_fingerprint(eps_r)
         self._norm_cache: dict[tuple[str, int], tuple[float, complex]] = {}
+
+    @property
+    def engine(self) -> SolverEngine:
+        """The solver engine all field solves of this simulation go through."""
+        return self.solver.engine
+
+    def _current_fingerprint(self) -> str:
+        """Fingerprint of the permittivity as it is *now*.
+
+        Recomputed from content on every solve so that in-place mutation of
+        ``eps_r`` (instead of :meth:`set_permittivity`) can never hit a stale
+        cached factorization — or a stale normalization, which is tied to the
+        permittivity through the source-port cross-section.
+        """
+        fingerprint = eps_fingerprint(self.eps_r)
+        if fingerprint != self._eps_fingerprint:
+            self._norm_cache.clear()
+            self._eps_fingerprint = fingerprint
+        return fingerprint
 
     # -- permittivity handling ----------------------------------------------------
     def set_permittivity(self, eps_r: np.ndarray) -> None:
-        """Replace the permittivity map (invalidates solver caches)."""
+        """Replace the permittivity map (invalidates every derived cache).
+
+        Both the solver factorization *and* the normalization cache are tied to
+        the permittivity: the normalization waveguide is extruded from the
+        source-port cross-section, so its flux/overlap must be recomputed when
+        the design changes.
+        """
         eps_r = np.asarray(eps_r, dtype=float)
         if eps_r.shape != self.grid.shape:
             raise ValueError(
                 f"eps_r shape {eps_r.shape} does not match grid {self.grid.shape}"
             )
+        old_fingerprint = self._eps_fingerprint
         self.eps_r = eps_r
-        self.solver.clear_cache()
+        self._eps_fingerprint = eps_fingerprint(eps_r)
+        self._norm_cache.clear()
+        # Evict only the superseded design operator.  Normalization
+        # factorizations solved through the same solver are left to LRU aging:
+        # they are keyed by content, other simulations of the same device may
+        # share them, and they stay correct regardless of this design change.
+        cache = getattr(self.solver.engine, "cache", None)
+        if cache is not None:
+            cache.evict(self.grid, self.omega, old_fingerprint)
+        self.solver._solved_fingerprints.discard(old_fingerprint)
 
     # -- sources ----------------------------------------------------------------------
     def port_modes(self, port_name: str, num_modes: int = 2) -> list[ModeProfile]:
@@ -132,7 +195,10 @@ class Simulation:
 
         The reference structure is obtained by extruding the source-port
         permittivity cross-section along the port normal through the whole
-        domain — i.e. the waveguide feeding the port, continued straight.
+        domain — i.e. the waveguide feeding the port, continued straight.  The
+        solve goes through the shared engine, so identical normalization runs
+        (same feeding waveguide, any number of simulations) hit the process-wide
+        factorization cache instead of re-factorizing.
         """
         key = (port_name, mode_index)
         if key in self._norm_cache:
@@ -171,8 +237,7 @@ class Simulation:
             )
         source = port.scatter_line(mode_source_amplitude(modes[mode_index]), self.grid)
 
-        solver = FdfdSolver(self.grid, self.omega)
-        solution = solver.solve(eps_norm, source)
+        solution = self.solver.solve(eps_norm, source)
         flux = poynting_flux_through_port(
             solution.ez, solution.hx, solution.hy, monitor, self.grid
         )
@@ -184,7 +249,7 @@ class Simulation:
         self._norm_cache[key] = result
         return result
 
-    # -- forward solve -----------------------------------------------------------------------
+    # -- forward solves ----------------------------------------------------------------------
     def solve(
         self,
         source_port: str | None = None,
@@ -208,21 +273,70 @@ class Simulation:
         """
         if source_port is None:
             source_port = next(iter(self.ports))
-        port = self._port(source_port)
-        if source is None:
-            source = self.mode_source(source_port, mode_index)
-        else:
-            source = np.asarray(source, dtype=complex)
-            if source.shape != self.grid.shape:
-                raise ValueError(
-                    f"source shape {source.shape} does not match grid {self.grid.shape}"
+        excitation = ExcitationSpec(
+            source_port=source_port,
+            mode_index=mode_index,
+            source=source,
+            monitor_ports=tuple(monitor_ports) if monitor_ports is not None else None,
+        )
+        return self.solve_multi([excitation])[0]
+
+    def solve_multi(
+        self, excitations: list[ExcitationSpec | tuple]
+    ) -> list[SimulationResult]:
+        """Solve many excitations of the same device in one batched call.
+
+        The permittivity is factorized once (or fetched from the shared
+        cache); every excitation costs one back-substitution.  Excitations may
+        be :class:`ExcitationSpec` instances or ``(source_port, mode_index)``
+        tuples.
+
+        Returns the :class:`SimulationResult` per excitation, in order.
+        """
+        specs = []
+        for excitation in excitations:
+            if isinstance(excitation, ExcitationSpec):
+                specs.append(excitation)
+            elif isinstance(excitation, (tuple, list)):
+                specs.append(ExcitationSpec(*excitation))
+            else:
+                raise TypeError(
+                    "excitations must be ExcitationSpec instances or "
+                    f"(source_port, mode_index) tuples; got {type(excitation)!r}"
                 )
+        if not specs:
+            return []
 
-        solution: FieldSolution = self.solver.solve(self.eps_r, source)
-        norm_flux, norm_overlap = self._normalization(source_port, mode_index)
+        sources = []
+        for spec in specs:
+            self._port(spec.source_port)
+            if spec.source is None:
+                sources.append(self.mode_source(spec.source_port, spec.mode_index))
+            else:
+                source = np.asarray(spec.source, dtype=complex)
+                if source.shape != self.grid.shape:
+                    raise ValueError(
+                        f"source shape {source.shape} does not match grid {self.grid.shape}"
+                    )
+                sources.append(source)
 
+        solutions = self.solver.solve_batch(
+            self.eps_r, sources, fingerprint=self._current_fingerprint()
+        )
+        return [
+            self._measure(spec, source, solution)
+            for spec, source, solution in zip(specs, sources, solutions)
+        ]
+
+    def _measure(
+        self, spec: ExcitationSpec, source: np.ndarray, solution: FieldSolution
+    ) -> SimulationResult:
+        """Normalize and run every monitor on one forward solution."""
+        norm_flux, norm_overlap = self._normalization(spec.source_port, spec.mode_index)
+
+        monitor_ports = spec.monitor_ports
         if monitor_ports is None:
-            monitor_ports = [name for name in self.ports if name != source_port]
+            monitor_ports = [name for name in self.ports if name != spec.source_port]
 
         fluxes: dict[str, float] = {}
         s_params: dict[str, complex] = {}
@@ -247,8 +361,8 @@ class Simulation:
             hy=solution.hy,
             source=source,
             wavelength=self.wavelength,
-            source_port=source_port,
-            source_mode=mode_index,
+            source_port=spec.source_port,
+            source_mode=spec.mode_index,
             fluxes=fluxes,
             s_params=s_params,
             transmissions=transmissions,

@@ -12,6 +12,13 @@ and the magnetic fields follow from the curl of ``Ez``::
 
 The operator is complex symmetric (the PML stretching preserves symmetry),
 which the adjoint solve exploits: ``A^T = A``.
+
+:class:`FdfdSolver` is a thin convenience shim binding one ``(grid, omega)``
+pair to a :class:`~repro.fdfd.engine.SolverEngine`.  All factorization state
+lives in the engine layer's shared :class:`~repro.fdfd.engine.FactorizationCache`,
+so independent solver instances working on the same operator reuse one
+factorization, and batched multi-RHS solves (:meth:`FdfdSolver.solve_batch`,
+:meth:`FdfdSolver.solve_adjoint_batch`) amortize it further.
 """
 
 from __future__ import annotations
@@ -20,10 +27,15 @@ from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
-import scipy.sparse.linalg as spla
 
 from repro.constants import EPSILON_0, MU_0
-from repro.fdfd.derivatives import derivative_operators
+from repro.fdfd.engine import (
+    SolverEngine,
+    assemble_system_matrix,
+    eps_fingerprint,
+    operators,
+    resolve_engine,
+)
 from repro.fdfd.grid import Grid
 
 
@@ -42,33 +54,32 @@ class FieldSolution:
 
 
 class FdfdSolver:
-    """Direct FDFD solver for one grid and one angular frequency.
+    """FDFD solver for one grid and one angular frequency.
 
-    The operator factorization is cached so that repeated solves at the same
-    permittivity (forward + adjoint, or multiple sources) cost a single LU
-    decomposition.
+    Parameters
+    ----------
+    grid:
+        The simulation grid (including PML cells).
+    omega:
+        Angular frequency in rad/s.
+    engine:
+        Solver engine, engine name or None (exact direct solves).  The engine
+        determines the fidelity tier; see :mod:`repro.fdfd.engine`.
     """
 
-    def __init__(self, grid: Grid, omega: float):
+    def __init__(self, grid: Grid, omega: float, engine: SolverEngine | str | None = None):
         if omega <= 0:
             raise ValueError(f"omega must be positive, got {omega}")
         self.grid = grid
         self.omega = float(omega)
-        self._derivs = derivative_operators(grid, self.omega)
-        # Laplacian-like part, independent of the permittivity.
-        self._curl_curl = (
-            self._derivs["Dxf"] @ self._derivs["Dxb"]
-            + self._derivs["Dyf"] @ self._derivs["Dyb"]
-        ) / MU_0
-        self._cached_eps: np.ndarray | None = None
-        self._cached_lu: spla.SuperLU | None = None
+        self.engine = resolve_engine(engine)
+        self._derivs = operators(grid, self.omega)
+        self._solved_fingerprints: set[str] = set()
 
     # -- operator assembly ------------------------------------------------------
     def system_matrix(self, eps_r: np.ndarray) -> sp.csr_matrix:
         """Assemble ``A(eps_r)`` for a grid-shaped relative permittivity."""
-        eps_r = self._check_eps(eps_r)
-        diagonal = self.omega**2 * EPSILON_0 * eps_r.ravel()
-        return (self._curl_curl + sp.diags(diagonal)).tocsr()
+        return assemble_system_matrix(self.grid, self.omega, self._check_eps(eps_r))
 
     def _check_eps(self, eps_r: np.ndarray) -> np.ndarray:
         eps_r = np.asarray(eps_r)
@@ -78,23 +89,28 @@ class FdfdSolver:
             )
         return eps_r
 
-    def _factorize(self, eps_r: np.ndarray) -> spla.SuperLU:
-        if self._cached_lu is not None and self._cached_eps is not None:
-            if np.array_equal(self._cached_eps, eps_r):
-                return self._cached_lu
-        matrix = self.system_matrix(eps_r).tocsc()
-        lu = spla.splu(matrix)
-        self._cached_eps = np.array(eps_r, copy=True)
-        self._cached_lu = lu
-        return lu
-
     def clear_cache(self) -> None:
-        """Drop the cached factorization (e.g. after changing the permittivity)."""
-        self._cached_eps = None
-        self._cached_lu = None
+        """Evict the factorizations of every permittivity this solver solved."""
+        cache = getattr(self.engine, "cache", None)
+        if cache is not None:
+            for fingerprint in self._solved_fingerprints:
+                cache.evict(self.grid, self.omega, fingerprint)
+        self._solved_fingerprints.clear()
+
+    def _solve_stack(
+        self, eps_r: np.ndarray, rhs: np.ndarray, fingerprint: str | None
+    ) -> np.ndarray:
+        if fingerprint is None:
+            fingerprint = eps_fingerprint(eps_r)
+        self._solved_fingerprints.add(fingerprint)
+        return self.engine.solve_batch(
+            self.grid, self.omega, eps_r, rhs, fingerprint=fingerprint
+        )
 
     # -- solves ---------------------------------------------------------------------
-    def solve(self, eps_r: np.ndarray, source: np.ndarray) -> FieldSolution:
+    def solve(
+        self, eps_r: np.ndarray, source: np.ndarray, fingerprint: str | None = None
+    ) -> FieldSolution:
         """Solve for the fields produced by a current density ``Jz``.
 
         Parameters
@@ -103,42 +119,68 @@ class FdfdSolver:
             Relative permittivity, grid shaped (real or complex).
         source:
             Current density ``Jz`` on the grid (complex allowed).
+        fingerprint:
+            Optional pre-computed :func:`~repro.fdfd.engine.eps_fingerprint`.
 
         Returns
         -------
         FieldSolution
             Grid-shaped ``Ez``, ``Hx``, ``Hy``.
         """
-        eps_r = self._check_eps(eps_r)
-        source = np.asarray(source)
-        if source.shape != self.grid.shape:
-            raise ValueError(
-                f"source shape {source.shape} does not match grid {self.grid.shape}"
-            )
-        lu = self._factorize(eps_r)
-        rhs = 1j * self.omega * source.ravel().astype(complex)
-        ez_flat = lu.solve(rhs)
-        ez = ez_flat.reshape(self.grid.shape)
-        hx, hy = self.e_to_h(ez)
-        return FieldSolution(ez=ez, hx=hx, hy=hy, omega=self.omega)
+        return self.solve_batch(eps_r, [source], fingerprint=fingerprint)[0]
 
-    def solve_adjoint(self, eps_r: np.ndarray, adjoint_source: np.ndarray) -> np.ndarray:
+    def solve_batch(
+        self,
+        eps_r: np.ndarray,
+        sources: list[np.ndarray] | np.ndarray,
+        fingerprint: str | None = None,
+    ) -> list[FieldSolution]:
+        """Solve one operator against many current sources at once.
+
+        The permittivity is factorized (or fetched from the shared cache)
+        exactly once; every source costs only a back-substitution.
+        """
+        eps_r = self._check_eps(eps_r)
+        stack = np.stack([np.asarray(s, dtype=complex) for s in sources], axis=0)
+        if stack.shape[1:] != self.grid.shape:
+            raise ValueError(
+                f"source shape {stack.shape[1:]} does not match grid {self.grid.shape}"
+            )
+        rhs = 1j * self.omega * stack
+        ez_stack = self._solve_stack(eps_r, rhs, fingerprint)
+        solutions = []
+        for ez in ez_stack:
+            hx, hy = self.e_to_h(ez)
+            solutions.append(FieldSolution(ez=ez, hx=hx, hy=hy, omega=self.omega))
+        return solutions
+
+    def solve_adjoint(
+        self, eps_r: np.ndarray, adjoint_source: np.ndarray, fingerprint: str | None = None
+    ) -> np.ndarray:
         """Solve the adjoint system ``A^T lambda = rhs``.
 
         ``A`` is complex symmetric, so the forward factorization is reused
         (``A^T = A``).  The adjoint source is the derivative of the objective
         with respect to ``Ez`` (grid shaped, complex).
         """
+        return self.solve_adjoint_batch(eps_r, [adjoint_source], fingerprint=fingerprint)[0]
+
+    def solve_adjoint_batch(
+        self,
+        eps_r: np.ndarray,
+        adjoint_sources: list[np.ndarray] | np.ndarray,
+        fingerprint: str | None = None,
+    ) -> list[np.ndarray]:
+        """Batched adjoint solves against one (cached) factorization."""
         eps_r = self._check_eps(eps_r)
-        adjoint_source = np.asarray(adjoint_source)
-        if adjoint_source.shape != self.grid.shape:
+        stack = np.stack([np.asarray(s, dtype=complex) for s in adjoint_sources], axis=0)
+        if stack.shape[1:] != self.grid.shape:
             raise ValueError(
-                f"adjoint source shape {adjoint_source.shape} does not match grid "
+                f"adjoint source shape {stack.shape[1:]} does not match grid "
                 f"{self.grid.shape}"
             )
-        lu = self._factorize(eps_r)
-        lam = lu.solve(adjoint_source.ravel().astype(complex))
-        return lam.reshape(self.grid.shape)
+        lam_stack = self._solve_stack(eps_r, stack, fingerprint)
+        return list(lam_stack)
 
     # -- derived fields ---------------------------------------------------------------
     def e_to_h(self, ez: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -1,11 +1,20 @@
 """MAPS-InvDes: adjoint-method photonic inverse design.
 
-The toolkit abstracts the physics (FDFD solves, adjoint sources, permittivity
-gradients) while exposing the optimization steps:
+The toolkit abstracts the physics while exposing the optimization steps.  All
+field computation is delegated to a :class:`~repro.invdes.adjoint.FieldBackend`
+sitting on the solver-engine layer of :mod:`repro.fdfd.engine`: the default
+:class:`~repro.invdes.adjoint.NumericalFieldBackend` accepts any engine
+(exact direct, iterative low-fidelity, or the ``"neural"`` surrogate tier), so
+switching the fidelity of an entire optimization is one constructor argument.
+Forward and adjoint solves of a design are batched against a single shared
+factorization — the adjoint method costs one back-substitution, not a second
+factorization.
 
 * :mod:`repro.invdes.objectives` — composable figure-of-merit terms with
   analytic adjoint sources,
-* :mod:`repro.invdes.adjoint` — per-excitation adjoint gradients,
+* :mod:`repro.invdes.adjoint` — per-excitation adjoint gradients;
+  :func:`~repro.invdes.adjoint.evaluate_specs` batches every excitation of a
+  device into grouped factorize-once/solve-many calls,
 * :mod:`repro.invdes.problem` — :class:`InverseDesignProblem`, chaining the
   design parametrization, differentiable transforms, fabrication models and
   the simulator into a single ``value_and_grad``,
@@ -21,7 +30,13 @@ from repro.invdes.objectives import (
     FluxTransmissionObjective,
     CompositeObjective,
 )
-from repro.invdes.adjoint import NumericalFieldBackend, SpecEvaluation, evaluate_spec
+from repro.invdes.adjoint import (
+    FieldBackend,
+    NumericalFieldBackend,
+    SpecEvaluation,
+    evaluate_spec,
+    evaluate_specs,
+)
 from repro.invdes.problem import InverseDesignProblem
 from repro.invdes.optimizer import AdjointOptimizer, OptimizationTrajectory
 from repro.invdes.initialization import initial_density
@@ -31,9 +46,11 @@ __all__ = [
     "ModeTransmissionObjective",
     "FluxTransmissionObjective",
     "CompositeObjective",
+    "FieldBackend",
     "NumericalFieldBackend",
     "SpecEvaluation",
     "evaluate_spec",
+    "evaluate_specs",
     "InverseDesignProblem",
     "AdjointOptimizer",
     "OptimizationTrajectory",

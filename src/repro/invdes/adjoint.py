@@ -1,11 +1,19 @@
-"""Per-excitation adjoint gradients.
+"""Per-excitation adjoint gradients on top of the solver-engine layer.
 
 :func:`evaluate_spec` runs the forward simulation for one
 :class:`~repro.devices.base.TargetSpec`, evaluates the objective, performs the
 adjoint solve and chains the permittivity gradient back to the design density.
+:func:`evaluate_specs` is the batched form: specs sharing a simulation
+(same wavelength and device state) are grouped onto one
+:class:`~repro.fdfd.simulation.Simulation`, their forward solves go through
+one :meth:`~repro.fdfd.simulation.Simulation.solve_multi` call and their
+adjoint solves through one batched back-substitution — the operator is
+factorized exactly once per design and reused for forward, adjoint and
+normalization solves via the shared factorization cache.
+
 The actual field solves go through a :class:`FieldBackend`, so the same code
-path serves the numerical solver and the neural surrogates of Table II /
-Figure 6.
+path serves the numerical solver engines (direct, iterative) and the neural
+surrogates of Table II / Figure 6.
 """
 
 from __future__ import annotations
@@ -15,17 +23,22 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.devices.base import Device, TargetSpec
-from repro.fdfd.simulation import Simulation, SimulationResult
+from repro.fdfd.engine import SolverEngine
+from repro.fdfd.simulation import ExcitationSpec, Simulation, SimulationResult
 from repro.invdes.objectives import CompositeObjective, objective_for_spec
 
 
 class FieldBackend:
     """Interface for forward/adjoint field computation.
 
-    The numerical backend delegates to the sparse FDFD solver; the neural
-    backend in :mod:`repro.surrogate` predicts the fields with a trained
-    model.  Both return grid-shaped complex arrays.
+    The numerical backend delegates to a solver engine; the neural backend in
+    :mod:`repro.surrogate` predicts the fields with a trained model.  Both
+    return grid-shaped complex arrays.  The batched entry points default to a
+    sequential loop so simple backends only implement the per-spec methods.
     """
+
+    #: Engine (or engine name) simulations built for this backend should use.
+    engine: SolverEngine | str | None = None
 
     def forward_fields(self, sim: Simulation, spec: TargetSpec) -> SimulationResult:
         raise NotImplementedError
@@ -35,9 +48,34 @@ class FieldBackend:
     ) -> np.ndarray:
         raise NotImplementedError
 
+    # -- batched entry points (override for factorize-once behaviour) -----------
+    def forward_results(
+        self, sim: Simulation, specs: list[TargetSpec]
+    ) -> list[SimulationResult]:
+        return [self.forward_fields(sim, spec) for spec in specs]
+
+    def adjoint_fields(
+        self, sim: Simulation, specs: list[TargetSpec], adjoint_sources: list[np.ndarray]
+    ) -> list[np.ndarray]:
+        return [
+            self.adjoint_field(sim, spec, source)
+            for spec, source in zip(specs, adjoint_sources)
+        ]
+
 
 class NumericalFieldBackend(FieldBackend):
-    """Exact fields from the sparse FDFD solver (the default backend)."""
+    """Exact or iterative fields from a solver engine (the default backend).
+
+    Parameters
+    ----------
+    engine:
+        Solver engine or engine name forwarded to every
+        :class:`~repro.fdfd.simulation.Simulation` this backend evaluates;
+        None selects the exact direct engine.
+    """
+
+    def __init__(self, engine: SolverEngine | str | None = None):
+        self.engine = engine
 
     def forward_fields(self, sim: Simulation, spec: TargetSpec) -> SimulationResult:
         return sim.solve(
@@ -49,7 +87,29 @@ class NumericalFieldBackend(FieldBackend):
     def adjoint_field(
         self, sim: Simulation, spec: TargetSpec, adjoint_source: np.ndarray
     ) -> np.ndarray:
-        return sim.solver.solve_adjoint(sim.eps_r, adjoint_source)
+        return sim.solver.solve_adjoint(
+            sim.eps_r, adjoint_source, fingerprint=sim._current_fingerprint()
+        )
+
+    def forward_results(
+        self, sim: Simulation, specs: list[TargetSpec]
+    ) -> list[SimulationResult]:
+        excitations = [
+            ExcitationSpec(
+                source_port=spec.source_port,
+                mode_index=spec.source_mode,
+                monitor_ports=tuple(spec.monitored_ports()),
+            )
+            for spec in specs
+        ]
+        return sim.solve_multi(excitations)
+
+    def adjoint_fields(
+        self, sim: Simulation, specs: list[TargetSpec], adjoint_sources: list[np.ndarray]
+    ) -> list[np.ndarray]:
+        return sim.solver.solve_adjoint_batch(
+            sim.eps_r, adjoint_sources, fingerprint=sim._current_fingerprint()
+        )
 
 
 @dataclass
@@ -68,6 +128,117 @@ class SpecEvaluation:
         return self.spec.weight * self.objective_value
 
 
+def simulation_group_key(spec: TargetSpec) -> tuple:
+    """Specs sharing this key can share one Simulation (one operator)."""
+    return (spec.wavelength, tuple(sorted(spec.state.items())))
+
+
+def evaluate_specs(
+    device: Device,
+    density: np.ndarray,
+    specs: list[TargetSpec] | None = None,
+    backend: FieldBackend | None = None,
+    objectives: dict[int, CompositeObjective] | None = None,
+    compute_gradient: bool = True,
+    eps_postprocess=None,
+    wavelength_shift: float = 0.0,
+) -> list[SpecEvaluation]:
+    """Objective values and density gradients for many specs, batched.
+
+    Specs are grouped by ``(wavelength, device state)``; each group shares one
+    :class:`Simulation` (one factorization), one batched forward solve and one
+    batched adjoint solve.  Results are returned in the order of ``specs``.
+
+    Parameters
+    ----------
+    device:
+        The benchmark device providing geometry and ports.
+    density:
+        Design density in ``[0, 1]`` on the design region.
+    specs:
+        Excitation specs to evaluate (``device.specs`` by default).
+    backend:
+        Field backend (numerical, engine-backed by default).
+    objectives:
+        Optional per-spec objective overrides keyed by position in ``specs``;
+        unlisted specs get the mode-transmission objective built from their
+        port weights.
+    compute_gradient:
+        If False, skip the adjoint solves (used for dataset labelling where
+        only the forward quantities are needed).
+    eps_postprocess:
+        Optional callable applied to the permittivity before simulation
+        (temperature drift of variation-aware corners).
+    wavelength_shift:
+        Added to every spec wavelength (laser drift corner).
+    """
+    backend = backend or NumericalFieldBackend()
+    if specs is None:
+        specs = device.specs
+    if not specs:
+        return []
+    density = np.asarray(density, dtype=float)
+
+    groups: dict[tuple, list[int]] = {}
+    for index, spec in enumerate(specs):
+        groups.setdefault(simulation_group_key(spec), []).append(index)
+
+    evaluations: list[SpecEvaluation | None] = [None] * len(specs)
+    scale = device.geometry.eps_core - device.geometry.eps_clad
+    for indices in groups.values():
+        group_specs = [specs[i] for i in indices]
+        reference = group_specs[0]
+
+        eps = device.eps_with_design(density)
+        eps = device.apply_state(eps, reference.state)
+        if eps_postprocess is not None:
+            eps = eps_postprocess(eps)
+        wavelength = reference.wavelength + wavelength_shift
+        sim = Simulation(
+            device.grid, eps, wavelength, device.geometry.ports, engine=backend.engine
+        )
+
+        results = backend.forward_results(sim, group_specs)
+
+        values = []
+        adjoint_sources = []
+        for position, spec, result in zip(indices, group_specs, results):
+            objective = None if objectives is None else objectives.get(position)
+            objective = objective or objective_for_spec(spec)
+            value, adjoint_source = objective.value_and_adjoint_source(sim, result)
+            values.append(float(value))
+            adjoint_sources.append(adjoint_source)
+
+        if not compute_gradient:
+            for position, spec, result, value in zip(indices, group_specs, results, values):
+                evaluations[position] = SpecEvaluation(
+                    spec=spec,
+                    objective_value=value,
+                    grad_density=np.zeros(device.design_shape),
+                    transmissions=dict(result.transmissions),
+                    result=result,
+                )
+            continue
+
+        lams = backend.adjoint_fields(sim, group_specs, adjoint_sources)
+        for position, spec, result, value, lam in zip(
+            indices, group_specs, results, values, lams
+        ):
+            grad_eps = sim.solver.permittivity_gradient(result.ez, lam)
+            # Chain rule: eps = eps_clad + (eps_core - eps_clad) * rho inside the
+            # design region (device states add permittivity independently of rho).
+            grad_density = grad_eps[device.geometry.design_slice] * scale
+            evaluations[position] = SpecEvaluation(
+                spec=spec,
+                objective_value=value,
+                grad_density=grad_density,
+                transmissions=dict(result.transmissions),
+                result=result,
+                adjoint_field=lam,
+            )
+    return evaluations
+
+
 def evaluate_spec(
     device: Device,
     density: np.ndarray,
@@ -80,64 +251,19 @@ def evaluate_spec(
 ) -> SpecEvaluation:
     """Objective value and density gradient for a single excitation spec.
 
-    Parameters
-    ----------
-    device:
-        The benchmark device providing geometry and ports.
-    density:
-        Design density in ``[0, 1]`` on the design region.
-    spec:
-        Excitation and routing target.
-    backend:
-        Field backend (numerical FDFD by default).
-    objective:
-        Objective functional; defaults to the mode-transmission objective built
-        from the spec's port weights.
-    compute_gradient:
-        If False, skip the adjoint solve (used for dataset labelling where only
-        the forward quantities are needed).
-    eps_postprocess:
-        Optional callable applied to the permittivity before simulation
-        (temperature drift of variation-aware corners).
-    wavelength_shift:
-        Added to the spec wavelength (laser drift corner).
+    Thin wrapper over :func:`evaluate_specs`; forward and adjoint still share
+    one factorization through the engine cache.
     """
-    backend = backend or NumericalFieldBackend()
-    objective = objective or objective_for_spec(spec)
-
-    eps = device.eps_with_design(np.asarray(density, dtype=float))
-    eps = device.apply_state(eps, spec.state)
-    if eps_postprocess is not None:
-        eps = eps_postprocess(eps)
-    wavelength = spec.wavelength + wavelength_shift
-    sim = Simulation(device.grid, eps, wavelength, device.geometry.ports)
-
-    result = backend.forward_fields(sim, spec)
-    value, adjoint_source = objective.value_and_adjoint_source(sim, result)
-
-    if not compute_gradient:
-        return SpecEvaluation(
-            spec=spec,
-            objective_value=float(value),
-            grad_density=np.zeros(device.design_shape),
-            transmissions=dict(result.transmissions),
-            result=result,
-        )
-
-    lam = backend.adjoint_field(sim, spec, adjoint_source)
-    grad_eps = sim.solver.permittivity_gradient(result.ez, lam)
-    # Chain rule: eps = eps_clad + (eps_core - eps_clad) * rho inside the design
-    # region (device states add permittivity independently of rho).
-    scale = device.geometry.eps_core - device.geometry.eps_clad
-    grad_density = grad_eps[device.geometry.design_slice] * scale
-    return SpecEvaluation(
-        spec=spec,
-        objective_value=float(value),
-        grad_density=grad_density,
-        transmissions=dict(result.transmissions),
-        result=result,
-        adjoint_field=lam,
-    )
+    return evaluate_specs(
+        device,
+        density,
+        specs=[spec],
+        backend=backend,
+        objectives={0: objective} if objective is not None else None,
+        compute_gradient=compute_gradient,
+        eps_postprocess=eps_postprocess,
+        wavelength_shift=wavelength_shift,
+    )[0]
 
 
 def evaluate_all_specs(
@@ -150,25 +276,24 @@ def evaluate_all_specs(
 ) -> tuple[float, np.ndarray, list[SpecEvaluation]]:
     """Weighted objective and gradient accumulated over all device specs.
 
+    All specs are evaluated through the batched :func:`evaluate_specs` path.
     The normalization matches :meth:`repro.devices.base.Device.figure_of_merit`:
     the weighted sum is divided by the total positive weight so a perfect
     router scores 1.
     """
-    evaluations = []
+    evaluations = evaluate_specs(
+        device,
+        density,
+        backend=backend,
+        compute_gradient=compute_gradient,
+        eps_postprocess=eps_postprocess,
+        wavelength_shift=wavelength_shift,
+    )
     total = 0.0
     weight_norm = 0.0
     grad = np.zeros(device.design_shape)
-    for spec in device.specs:
-        evaluation = evaluate_spec(
-            device,
-            density,
-            spec,
-            backend=backend,
-            compute_gradient=compute_gradient,
-            eps_postprocess=eps_postprocess,
-            wavelength_shift=wavelength_shift,
-        )
-        evaluations.append(evaluation)
+    for evaluation in evaluations:
+        spec = evaluation.spec
         total += spec.weight * evaluation.objective_value
         grad += spec.weight * evaluation.grad_density
         weight_norm += spec.weight * max(

@@ -59,6 +59,10 @@ class InverseDesignProblem:
     backend:
         Field backend (numerical FDFD by default; a neural surrogate backend
         can be plugged in for AI-driven design).
+    engine:
+        Solver engine or engine name (``"direct"``, ``"iterative"``, ...)
+        for the default numerical backend — the one-line fidelity swap.
+        Ignored when an explicit ``backend`` is given.
     eps_postprocess, wavelength_shift:
         Hooks used by the variation-aware wrapper to simulate corners.
     """
@@ -69,9 +73,14 @@ class InverseDesignProblem:
         parametrization: DensityParametrization | None = None,
         transforms: TransformPipeline | None = None,
         backend: FieldBackend | None = None,
+        engine=None,
         eps_postprocess=None,
         wavelength_shift: float = 0.0,
     ):
+        if backend is None and engine is not None:
+            from repro.invdes.adjoint import NumericalFieldBackend
+
+            backend = NumericalFieldBackend(engine=engine)
         self.device = device
         self.parametrization = parametrization or DensityParametrization(device.design_shape)
         if transforms is None:

@@ -1,5 +1,9 @@
 """Neural-surrogate integration: AI models as drop-in replacements of the solver.
 
+* :class:`~repro.surrogate.neural_solver.NeuralEngine` — a trained model
+  wrapped as a :class:`repro.fdfd.engine.SolverEngine` and registered under
+  the name ``"neural"``, so the AI tier plugs in anywhere an engine is
+  accepted (``Simulation(engine="neural", ...)``).
 * :class:`~repro.surrogate.neural_solver.NeuralFieldBackend` — a
   :class:`repro.invdes.adjoint.FieldBackend` whose forward and adjoint fields
   come from a trained field-prediction model, enabling fully NN-driven adjoint
@@ -10,7 +14,7 @@
   predicted forward + adjoint fields.
 """
 
-from repro.surrogate.neural_solver import NeuralFieldBackend
+from repro.surrogate.neural_solver import NeuralEngine, NeuralFieldBackend
 from repro.surrogate.gradients import (
     gradient_numerical,
     gradient_fwd_adj_field,
@@ -21,6 +25,7 @@ from repro.surrogate.gradients import (
 )
 
 __all__ = [
+    "NeuralEngine",
     "NeuralFieldBackend",
     "gradient_numerical",
     "gradient_fwd_adj_field",

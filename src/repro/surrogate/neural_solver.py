@@ -23,14 +23,83 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.constants import omega_to_wavelength
 from repro.data.labels import standardize_input
 from repro.devices.base import TargetSpec
+from repro.fdfd.engine import SolverEngine, register_engine
+from repro.fdfd.grid import Grid
 from repro.fdfd.monitors import mode_overlap, poynting_flux_through_port
 from repro.fdfd.simulation import Simulation, SimulationResult
 from repro.invdes.adjoint import FieldBackend
 from repro.nn.module import Module
 from repro.train.trainer import predict
 from repro.utils.numerics import channels_to_complex
+
+
+def predict_ez(
+    model: Module,
+    field_scale: float,
+    eps_r: np.ndarray,
+    source: np.ndarray,
+    wavelength: float,
+    dl: float,
+) -> np.ndarray:
+    """Predict the complex ``Ez`` produced by an arbitrary current source.
+
+    Applies the amplitude-normalization convention described in the module
+    docstring: the model sees a unit-amplitude source and its output is
+    rescaled by ``field_scale * max|source|``.
+    """
+    source = np.asarray(source, dtype=complex)
+    amplitude = float(np.max(np.abs(source)))
+    if amplitude <= 0:
+        return np.zeros(np.asarray(eps_r).shape, dtype=complex)
+    inputs = standardize_input(eps_r, source, wavelength, dl)
+    channels = predict(model, inputs)
+    return channels_to_complex(channels) * float(field_scale) * amplitude
+
+
+class NeuralEngine(SolverEngine):
+    """A trained field-prediction model as a drop-in solver engine.
+
+    Registers the AI surrogate as just another fidelity tier: anywhere a
+    :class:`~repro.fdfd.engine.SolverEngine` is accepted
+    (``Simulation(engine=...)``, ``FdfdSolver``, ``NumericalFieldBackend``),
+    ``NeuralEngine(model, field_scale)`` — or the registry name ``"neural"`` —
+    swaps every linear solve for a network prediction.  Because the engine
+    receives the raw right-hand side ``b`` of ``A x = b`` and the model was
+    trained on ``A e = i omega J``, the source handed to the network is
+    ``J = b / (i omega)``; linearity makes the rescaling exact.
+    """
+
+    name = "neural"
+
+    def __init__(self, model: Module, field_scale: float = 1.0):
+        if model is None:
+            raise ValueError("NeuralEngine requires a trained model (model=...)")
+        self.model = model
+        self.field_scale = float(field_scale)
+
+    def solve_batch(
+        self,
+        grid: Grid,
+        omega: float,
+        eps_r: np.ndarray,
+        rhs: np.ndarray,
+        fingerprint: str | None = None,
+    ) -> np.ndarray:
+        eps_r, rhs = self._check_batch(grid, eps_r, rhs)
+        wavelength = omega_to_wavelength(omega)
+        solutions = np.empty_like(rhs)
+        for index, b in enumerate(rhs):
+            source = b / (1j * omega)
+            solutions[index] = predict_ez(
+                self.model, self.field_scale, eps_r, source, wavelength, grid.dl
+            )
+        return solutions
+
+
+register_engine("neural", lambda model=None, field_scale=1.0: NeuralEngine(model, field_scale))
 
 
 class NeuralFieldBackend(FieldBackend):
@@ -48,16 +117,22 @@ class NeuralFieldBackend(FieldBackend):
         self.model = model
         self.field_scale = float(field_scale)
 
+    def as_engine(self) -> NeuralEngine:
+        """The same surrogate wrapped as a :class:`~repro.fdfd.engine.SolverEngine`.
+
+        Note the backend itself keeps ``engine = None`` (direct) for the
+        simulations it evaluates, so derived quantities — normalization runs,
+        ``e_to_h``, residuals — stay on the exact path as in the paper's case
+        study; only the forward/adjoint field maps come from the network.
+        """
+        return NeuralEngine(self.model, self.field_scale)
+
     # -- low-level prediction ---------------------------------------------------------
     def predict_field(self, sim: Simulation, source: np.ndarray) -> np.ndarray:
         """Predict the complex ``Ez`` produced by an arbitrary current source."""
-        source = np.asarray(source, dtype=complex)
-        amplitude = float(np.max(np.abs(source)))
-        if amplitude <= 0:
-            return np.zeros(sim.grid.shape, dtype=complex)
-        inputs = standardize_input(sim.eps_r, source, sim.wavelength, sim.grid.dl)
-        channels = predict(self.model, inputs)
-        return channels_to_complex(channels) * self.field_scale * amplitude
+        return predict_ez(
+            self.model, self.field_scale, sim.eps_r, source, sim.wavelength, sim.grid.dl
+        )
 
     # -- FieldBackend interface ----------------------------------------------------------
     def forward_fields(self, sim: Simulation, spec: TargetSpec) -> SimulationResult:

@@ -1,0 +1,372 @@
+"""Tests for the solver-engine layer: cache, engines, batching, rewiring."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.fdfd import Grid, Port, Simulation
+from repro.fdfd.engine import (
+    CountingEngine,
+    DirectEngine,
+    FactorizationCache,
+    IterativeEngine,
+    SolverEngine,
+    available_engines,
+    eps_fingerprint,
+    make_engine,
+    resolve_engine,
+)
+from repro.fdfd.simulation import ExcitationSpec
+from repro.fdfd.solver import FdfdSolver
+from repro.invdes.adjoint import NumericalFieldBackend, evaluate_spec, evaluate_specs
+
+OMEGA = constants.wavelength_to_omega(1.55)
+
+
+def _straight_waveguide(dl=0.1, domain=3.0, width=0.48):
+    npml = 8
+    n = int(domain / dl) + 2 * npml
+    grid = Grid(nx=n, ny=n, dl=dl, npml=npml)
+    eps = np.full(grid.shape, constants.EPS_SIO2)
+    y = grid.y_coords()
+    eps[:, np.abs(y - grid.size_y / 2) <= width / 2] = constants.EPS_SI
+    margin = (npml + 3) * dl
+    ports = [
+        Port("in", "x", position=margin, center=grid.size_y / 2, span=3 * width, direction=+1),
+        Port("out", "x", position=grid.size_x - margin, center=grid.size_y / 2, span=3 * width, direction=+1),
+    ]
+    return grid, eps, ports
+
+
+def _point_sources(grid, count, seed=0):
+    rng = np.random.default_rng(seed)
+    sources = []
+    for _ in range(count):
+        source = np.zeros(grid.shape, dtype=complex)
+        ix = rng.integers(grid.npml + 2, grid.nx - grid.npml - 2)
+        iy = rng.integers(grid.npml + 2, grid.ny - grid.npml - 2)
+        source[ix, iy] = 1.0 + 0.5j
+        sources.append(source)
+    return sources
+
+
+# --------------------------------------------------------------------------- #
+# fingerprints
+# --------------------------------------------------------------------------- #
+class TestFingerprint:
+    def test_equal_content_equal_fingerprint(self):
+        a = np.random.default_rng(0).random((8, 9))
+        assert eps_fingerprint(a) == eps_fingerprint(a.copy())
+
+    def test_different_content_different_fingerprint(self):
+        a = np.ones((4, 4))
+        b = a.copy()
+        b[2, 2] += 1e-12
+        assert eps_fingerprint(a) != eps_fingerprint(b)
+
+    def test_shape_and_dtype_matter(self):
+        a = np.zeros((2, 8))
+        assert eps_fingerprint(a) != eps_fingerprint(a.reshape(4, 4))
+        assert eps_fingerprint(np.zeros(4)) != eps_fingerprint(np.zeros(4, dtype=np.float32))
+
+    def test_non_contiguous_input(self):
+        a = np.arange(32, dtype=float).reshape(4, 8)
+        assert eps_fingerprint(a[:, ::2]) == eps_fingerprint(np.ascontiguousarray(a[:, ::2]))
+
+
+# --------------------------------------------------------------------------- #
+# factorization cache
+# --------------------------------------------------------------------------- #
+class TestFactorizationCache:
+    def test_hits_and_misses(self):
+        cache = FactorizationCache(maxsize=4)
+        grid = Grid(nx=20, ny=20, dl=0.1, npml=5)
+        built = []
+        for _ in range(3):
+            cache.get_or_build(grid, OMEGA, "fp", lambda: built.append(1) or "entry")
+        assert built == [1]
+        assert cache.stats.misses == 1 and cache.stats.hits == 2
+
+    def test_lru_eviction(self):
+        cache = FactorizationCache(maxsize=2)
+        grid = Grid(nx=20, ny=20, dl=0.1, npml=5)
+        for fp in ("a", "b", "c"):
+            cache.get_or_build(grid, OMEGA, fp, lambda fp=fp: fp.upper())
+        assert len(cache) == 2
+        assert cache.peek(grid, OMEGA, "a") is None
+        assert cache.peek(grid, OMEGA, "c") == "C"
+        assert cache.stats.evictions == 1
+
+    def test_evict_and_clear(self):
+        cache = FactorizationCache(maxsize=4)
+        grid = Grid(nx=20, ny=20, dl=0.1, npml=5)
+        cache.get_or_build(grid, OMEGA, "a", lambda: "A")
+        assert cache.evict(grid, OMEGA, "a") == 1
+        assert cache.evict(grid, OMEGA, "a") == 0
+        cache.get_or_build(grid, OMEGA, "a", lambda: "A")
+        cache.clear()
+        assert len(cache) == 0 and cache.stats.misses == 0
+
+    def test_tags_are_namespaced(self):
+        cache = FactorizationCache(maxsize=4)
+        grid = Grid(nx=20, ny=20, dl=0.1, npml=5)
+        cache.get_or_build(grid, OMEGA, "fp", lambda: "direct-entry", tag="direct")
+        cache.get_or_build(grid, OMEGA, "fp", lambda: "ilu-entry", tag="iterative")
+        assert cache.stats.misses == 2
+        assert cache.peek(grid, OMEGA, "fp", tag="iterative") == "ilu-entry"
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            FactorizationCache(maxsize=0)
+
+
+# --------------------------------------------------------------------------- #
+# engine equivalence
+# --------------------------------------------------------------------------- #
+class TestDirectEngine:
+    def test_batched_matches_sequential_forward(self):
+        grid, eps, _ = _straight_waveguide()
+        sources = _point_sources(grid, 4)
+        solver = FdfdSolver(grid, OMEGA, engine=DirectEngine(cache=FactorizationCache()))
+        sequential = [solver.solve(eps, s).ez for s in sources]
+        batched = solver.solve_batch(eps, sources)
+        for seq, bat in zip(sequential, batched):
+            np.testing.assert_allclose(bat.ez, seq, rtol=1e-10, atol=1e-16)
+
+    def test_batched_matches_sequential_adjoint(self):
+        grid, eps, _ = _straight_waveguide()
+        sources = _point_sources(grid, 3, seed=7)
+        solver = FdfdSolver(grid, OMEGA, engine=DirectEngine(cache=FactorizationCache()))
+        sequential = [solver.solve_adjoint(eps, s) for s in sources]
+        batched = solver.solve_adjoint_batch(eps, sources)
+        for seq, bat in zip(sequential, batched):
+            np.testing.assert_allclose(bat, seq, rtol=1e-10, atol=1e-16)
+
+    def test_batch_factorizes_once(self):
+        grid, eps, _ = _straight_waveguide()
+        engine = DirectEngine(cache=FactorizationCache())
+        engine.solve_batch(grid, OMEGA, eps, np.stack(_point_sources(grid, 5)))
+        assert engine.cache.stats.misses == 1
+
+    def test_rhs_shape_validation(self):
+        grid, eps, _ = _straight_waveguide()
+        engine = DirectEngine(cache=FactorizationCache())
+        with pytest.raises(ValueError):
+            engine.solve_batch(grid, OMEGA, eps, np.zeros((3, 3), dtype=complex))
+        with pytest.raises(ValueError):
+            engine.solve_batch(grid, OMEGA, eps[:-1], np.zeros((1, *grid.shape)))
+
+
+class TestIterativeEngine:
+    def test_matches_direct_on_bend(self, tiny_bend):
+        density = np.clip(
+            0.5 + 0.2 * np.random.default_rng(2).normal(size=tiny_bend.design_shape), 0, 1
+        )
+        eps = tiny_bend.eps_with_design(density)
+        grid = tiny_bend.grid
+        omega = constants.wavelength_to_omega(tiny_bend.specs[0].wavelength)
+        rhs = np.stack(_point_sources(grid, 2, seed=3))
+        exact = DirectEngine(cache=FactorizationCache()).solve_batch(grid, omega, eps, rhs)
+        approx = IterativeEngine(rtol=1e-10, cache=FactorizationCache()).solve_batch(
+            grid, omega, eps, rhs
+        )
+        scale = np.max(np.abs(exact))
+        np.testing.assert_allclose(approx, exact, atol=1e-6 * scale)
+
+    def test_simulation_with_iterative_engine(self):
+        grid, eps, ports = _straight_waveguide()
+        direct = Simulation(grid, eps, 1.55, ports)
+        iterative = Simulation(grid, eps, 1.55, ports, engine="iterative")
+        t_direct = direct.solve("in").transmissions["out"]
+        t_iter = iterative.solve("in").transmissions["out"]
+        assert t_iter == pytest.approx(t_direct, rel=1e-4)
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            IterativeEngine(method="jacobi")
+
+    def test_nonconvergence_raises(self):
+        grid, eps, _ = _straight_waveguide()
+        engine = IterativeEngine(rtol=1e-14, maxiter=1, cache=FactorizationCache())
+        with pytest.raises(RuntimeError):
+            engine.solve_batch(grid, OMEGA, eps, np.stack(_point_sources(grid, 1)))
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+class TestRegistry:
+    def test_names_available(self):
+        names = available_engines()
+        for name in ("direct", "iterative", "high", "low"):
+            assert name in names
+
+    def test_make_engine(self):
+        assert isinstance(make_engine("direct"), DirectEngine)
+        assert isinstance(make_engine("high"), DirectEngine)
+        assert isinstance(make_engine("low"), IterativeEngine)
+        assert make_engine("gmres").method == "gmres"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            make_engine("quantum")
+
+    def test_resolve_engine(self):
+        engine = DirectEngine()
+        assert resolve_engine(engine) is engine
+        assert isinstance(resolve_engine(None), DirectEngine)
+        assert isinstance(resolve_engine("iterative"), IterativeEngine)
+        with pytest.raises(TypeError):
+            resolve_engine(42)
+
+    def test_neural_engine_requires_model(self):
+        with pytest.raises(ValueError):
+            make_engine("neural")
+
+
+# --------------------------------------------------------------------------- #
+# simulation batching
+# --------------------------------------------------------------------------- #
+class TestSolveMulti:
+    def test_matches_sequential_solve(self):
+        grid, eps, ports = _straight_waveguide()
+        sim = Simulation(grid, eps, 1.55, ports)
+        sequential = [sim.solve("in"), sim.solve("out")]
+        batched = sim.solve_multi([ExcitationSpec("in"), ExcitationSpec("out")])
+        for seq, bat in zip(sequential, batched):
+            np.testing.assert_allclose(bat.ez, seq.ez, rtol=1e-10, atol=1e-18)
+            assert bat.transmissions == seq.transmissions
+
+    def test_accepts_tuples_and_empty(self):
+        grid, eps, ports = _straight_waveguide()
+        sim = Simulation(grid, eps, 1.55, ports)
+        assert sim.solve_multi([]) == []
+        results = sim.solve_multi([("in", 0)])
+        assert results[0].source_port == "in"
+
+    def test_in_place_eps_mutation_refactorizes(self):
+        """Mutating sim.eps_r directly must not hit a stale factorization."""
+        grid, eps, ports = _straight_waveguide()
+        sim = Simulation(grid, eps, 1.55, ports, engine=DirectEngine(cache=FactorizationCache()))
+        first = sim.solve("in").ez
+        sim.eps_r[grid.nx // 2 - 2 : grid.nx // 2 + 2, :] = 1.0
+        second = sim.solve("in").ez
+        assert np.max(np.abs(first - second)) > 1e-6 * np.max(np.abs(first))
+        # The normalization cache is tied to the permittivity too.
+        assert list(sim._norm_cache) == [("in", 0)]
+
+    def test_clear_cache_evicts_every_solved_eps(self):
+        grid, eps, _ = _straight_waveguide()
+        engine = DirectEngine(cache=FactorizationCache())
+        solver = FdfdSolver(grid, OMEGA, engine=engine)
+        source = _point_sources(grid, 1)[0]
+        solver.solve(eps, source)
+        solver.solve(eps + 0.5, source)
+        assert len(engine.cache) == 2
+        solver.clear_cache()
+        assert len(engine.cache) == 0
+
+    def test_batch_factorizes_design_once(self):
+        grid, eps, ports = _straight_waveguide()
+        engine = CountingEngine()
+        sim = Simulation(grid, eps, 1.55, ports, engine=engine)
+        sim.solve_multi([ExcitationSpec("in"), ExcitationSpec("out")])
+        design_fp = sim._eps_fingerprint
+        # Both excitations in one batched solve; the normalization runs that
+        # follow (whose extruded eps equals the straight-waveguide design) hit
+        # the same factorization instead of building their own.
+        batch_sizes = [n for fp, n in engine.solve_log if fp == design_fp]
+        assert batch_sizes[0] == 2
+        assert engine.factorizations[design_fp] == 1
+
+
+# --------------------------------------------------------------------------- #
+# adjoint path through the engine layer
+# --------------------------------------------------------------------------- #
+class TestAdjointFactorizesOnce:
+    def test_forward_and_adjoint_share_one_factorization(self, tiny_bend):
+        density = np.full(tiny_bend.design_shape, 0.5)
+        engine = CountingEngine()
+        backend = NumericalFieldBackend(engine=engine)
+        evaluation = evaluate_spec(
+            tiny_bend, density, tiny_bend.specs[0], backend=backend, compute_gradient=True
+        )
+        assert evaluation.adjoint_field is not None
+
+        eps = tiny_bend.eps_with_design(density)
+        design_fp = eps_fingerprint(eps)
+        # Forward + adjoint both solved against the design operator...
+        design_calls = [n for fp, n in engine.solve_log if fp == design_fp]
+        assert len(design_calls) >= 2
+        # ... but the operator was factorized exactly once.
+        assert engine.factorizations[design_fp] == 1
+
+    def test_multi_spec_device_factorizes_once_per_operator(self):
+        from repro.devices.factory import make_device
+
+        device = make_device("mdm", domain=3.5, design_size=1.6, dl=0.1)
+        assert len(device.specs) == 2
+        density = np.full(device.design_shape, 0.5)
+        engine = CountingEngine()
+        backend = NumericalFieldBackend(engine=engine)
+        evaluations = evaluate_specs(device, density, backend=backend, compute_gradient=True)
+        assert len(evaluations) == 2
+
+        design_fp = eps_fingerprint(device.eps_with_design(density))
+        # Both specs share a wavelength and state: one operator, one
+        # factorization, despite 2 forward + 2 adjoint solves.
+        assert engine.factorizations[design_fp] == 1
+        design_batches = [n for fp, n in engine.solve_log if fp == design_fp]
+        assert design_batches == [2, 2]
+
+    def test_batched_evaluation_matches_sequential(self):
+        from repro.devices.factory import make_device
+        from repro.invdes.adjoint import FieldBackend
+
+        class SequentialBackend(FieldBackend):
+            """Forces the unbatched default code path."""
+
+            def __init__(self):
+                self._inner = NumericalFieldBackend()
+
+            def forward_fields(self, sim, spec):
+                return self._inner.forward_fields(sim, spec)
+
+            def adjoint_field(self, sim, spec, adjoint_source):
+                return self._inner.adjoint_field(sim, spec, adjoint_source)
+
+        device = make_device("mdm", domain=3.5, design_size=1.6, dl=0.1)
+        density = np.clip(
+            0.5 + 0.2 * np.random.default_rng(5).normal(size=device.design_shape), 0, 1
+        )
+        batched = evaluate_specs(device, density, compute_gradient=True)
+        sequential = evaluate_specs(
+            device, density, backend=SequentialBackend(), compute_gradient=True
+        )
+        for bat, seq in zip(batched, sequential):
+            assert bat.objective_value == pytest.approx(seq.objective_value, rel=1e-10)
+            np.testing.assert_allclose(
+                bat.grad_density, seq.grad_density, rtol=1e-8, atol=1e-20
+            )
+
+
+# --------------------------------------------------------------------------- #
+# labels / generator batching equivalence
+# --------------------------------------------------------------------------- #
+class TestLabelBatching:
+    def test_batch_matches_single_extraction(self):
+        from repro.data.labels import extract_labels, extract_labels_batch
+        from repro.devices.factory import make_device
+
+        device = make_device("mdm", domain=3.5, design_size=1.6, dl=0.1)
+        density = np.full(device.design_shape, 0.5)
+        batch = extract_labels_batch(device, density, with_gradient=True)
+        assert len(batch) == len(device.specs)
+        for index, label in enumerate(batch):
+            single = extract_labels(device, density, spec=index, with_gradient=True)
+            assert label.spec_index == single.spec_index
+            np.testing.assert_allclose(label.ez, single.ez, rtol=1e-10, atol=1e-18)
+            np.testing.assert_allclose(
+                label.adjoint_gradient, single.adjoint_gradient, rtol=1e-8, atol=1e-20
+            )
+            assert label.figure_of_merit == pytest.approx(single.figure_of_merit, rel=1e-10)

@@ -10,6 +10,7 @@ from repro.fdfd import Grid, Port, Simulation, solve_slab_modes
 from repro.fdfd.derivatives import derivative_operators
 from repro.fdfd.modes import overlap_coefficient
 from repro.fdfd.monitors import mode_overlap, poynting_flux_through_port
+from repro.fdfd.engine import DirectEngine, FactorizationCache
 from repro.fdfd.pml import create_sfactor
 from repro.fdfd.solver import FdfdSolver
 
@@ -206,15 +207,17 @@ class TestSolver:
 
     def test_factorization_cache_reused(self):
         grid, eps, ports = _straight_waveguide()
-        solver = FdfdSolver(grid, OMEGA)
+        engine = DirectEngine(cache=FactorizationCache())
+        solver = FdfdSolver(grid, OMEGA, engine=engine)
         source = np.zeros(grid.shape, dtype=complex)
         source[grid.nx // 2, grid.ny // 2] = 1.0
         solver.solve(eps, source)
-        lu_first = solver._cached_lu
+        assert engine.cache.stats.misses == 1
         solver.solve(eps, 2 * source)
-        assert solver._cached_lu is lu_first
+        assert engine.cache.stats.misses == 1
+        assert engine.cache.stats.hits == 1
         solver.clear_cache()
-        assert solver._cached_lu is None
+        assert len(engine.cache) == 0
 
     def test_linearity_in_source(self):
         grid, eps, ports = _straight_waveguide()
@@ -287,12 +290,33 @@ class TestSimulation:
 
     def test_set_permittivity_invalidates_cache(self):
         grid, eps, ports = _straight_waveguide()
-        sim = Simulation(grid, eps, 1.55, ports)
+        sim = Simulation(grid, eps, 1.55, ports, engine=DirectEngine(cache=FactorizationCache()))
         sim.solve("in")
+        old_fingerprint = sim._eps_fingerprint
+        assert sim.engine.cache.peek(grid, sim.omega, old_fingerprint) is not None
         new_eps = eps.copy()
         new_eps[grid.nx // 2, grid.ny // 2] = 1.0
         sim.set_permittivity(new_eps)
-        assert sim.solver._cached_lu is None
+        assert sim._eps_fingerprint != old_fingerprint
+        assert sim.engine.cache.peek(grid, sim.omega, old_fingerprint) is None
+
+    def test_set_permittivity_invalidates_normalization_cache(self):
+        """Regression: normalization flux/overlap must not survive a design change."""
+        grid, eps, ports = _straight_waveguide()
+        sim = Simulation(grid, eps, 1.55, ports)
+        sim.solve("in")
+        assert sim._norm_cache
+        stale = dict(sim._norm_cache)
+        # Widen the feeding waveguide: the port cross-section (and therefore the
+        # normalization run) changes, so the cached values would be wrong.
+        wider = np.full(grid.shape, constants.EPS_SIO2)
+        y = grid.y_coords()
+        wider[:, np.abs(y - grid.size_y / 2) <= 0.6] = constants.EPS_SI
+        sim.set_permittivity(wider)
+        assert not sim._norm_cache
+        result = sim.solve("in")
+        stale_flux = stale[("in", 0)][0]
+        assert abs(result.input_flux - stale_flux) / stale_flux > 1e-6
 
     def test_mode_source_is_on_port_line_only(self, straight_result):
         sim, _ = straight_result
