@@ -24,8 +24,22 @@ from repro.data.sampling import (
     PerturbedOptTrajSampling,
     make_sampler,
 )
-from repro.data.generator import DatasetGenerator
-from repro.data.dataset import PhotonicDataset, Sample, split_dataset
+from repro.data.generator import DatasetGenerator, GeneratorConfig, generate_dataset
+from repro.data.shards import (
+    ShardSpec,
+    ShardTask,
+    load_shard,
+    plan_shards,
+    run_shard,
+    save_shard,
+    shard_fingerprint,
+)
+from repro.data.dataset import (
+    PhotonicDataset,
+    Sample,
+    datasets_bit_identical,
+    split_dataset,
+)
 
 __all__ = [
     "RichLabels",
@@ -37,7 +51,17 @@ __all__ = [
     "PerturbedOptTrajSampling",
     "make_sampler",
     "DatasetGenerator",
+    "GeneratorConfig",
+    "generate_dataset",
+    "ShardSpec",
+    "ShardTask",
+    "plan_shards",
+    "run_shard",
+    "save_shard",
+    "load_shard",
+    "shard_fingerprint",
     "PhotonicDataset",
     "Sample",
+    "datasets_bit_identical",
     "split_dataset",
 ]

@@ -225,6 +225,45 @@ class PhotonicDataset:
         return cls(samples, field_scale=header["field_scale"], metadata=header["metadata"])
 
 
+def _arrays_equal(a: np.ndarray | None, b: np.ndarray | None) -> bool:
+    if a is None or b is None:
+        return a is None and b is None
+    return np.array_equal(a, b)
+
+
+def datasets_bit_identical(left: PhotonicDataset, right: PhotonicDataset) -> bool:
+    """Exact (bitwise) equality of two datasets, field by field.
+
+    This is the contract of sharded generation — the merged dataset must be
+    bit-identical regardless of worker count or resume path — so *every*
+    sample field is compared exactly: arrays with ``np.array_equal``
+    (including the optional gradient/source/eps arrays) and scalars with
+    ``==``, never with tolerances.
+    """
+    if len(left) != len(right) or left.field_scale != right.field_scale:
+        return False
+    for a, b in zip(left, right):
+        if not (
+            _arrays_equal(a.inputs, b.inputs)
+            and _arrays_equal(a.target, b.target)
+            and _arrays_equal(a.density, b.density)
+            and _arrays_equal(a.adjoint_gradient, b.adjoint_gradient)
+            and _arrays_equal(a.source, b.source)
+            and _arrays_equal(a.eps_r, b.eps_r)
+            and a.device_name == b.device_name
+            and a.spec_index == b.spec_index
+            and a.wavelength == b.wavelength
+            and a.dl == b.dl
+            and a.figure_of_merit == b.figure_of_merit
+            and a.transmission == b.transmission
+            and a.stage == b.stage
+            and a.fidelity == b.fidelity
+            and a.design_id == b.design_id
+        ):
+            return False
+    return True
+
+
 def split_dataset(
     dataset: PhotonicDataset,
     train_fraction: float = 0.7,

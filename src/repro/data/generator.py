@@ -6,25 +6,57 @@ the rich labels into a :class:`~repro.data.dataset.PhotonicDataset`.  When more
 than one fidelity is requested, the *same* designs are simulated at every
 fidelity so the dataset contains paired low/high-fidelity samples (linked by
 ``design_id``), which is what multi-fidelity model training consumes.
+
+Generation is *sharded* (see :mod:`repro.data.shards`): the run is split into
+deterministic fidelity x design-block shards that can execute serially, fan
+out across worker processes (``workers=``) or persist as resumable artifacts
+(``shard_dir=``).  Shard layout is a pure function of the config, so the
+merged dataset is bit-identical regardless of worker count — parallelism is a
+throughput knob, never a label change.  The solver fidelity tier is selected
+end-to-end with ``engine=`` (a registry name, or a per-fidelity mapping such
+as ``{"low": "iterative", "high": "direct"}``).
+
+Run ``python -m repro.data.generator --help`` for the command-line interface.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
+import argparse
+import json
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
 
 from repro.data.dataset import PhotonicDataset
-from repro.data.labels import extract_labels_batch
+from repro.data.labels import RichLabels
 from repro.data.sampling import DesignSample, SamplingStrategy, make_sampler
+from repro.data.shards import (
+    ShardTask,
+    engine_for_fidelity,
+    engine_tag,
+    plan_shards,
+    run_shard,
+    shard_filename,
+    shard_fingerprint,
+    try_load_shard,
+)
 from repro.devices.factory import make_device
-from repro.utils.numerics import resample_bilinear
+from repro.fdfd.engine import SolverEngine, available_engines
+from repro.utils.parallel import effective_workers, run_tasks
 from repro.utils.rng import get_rng
 
 
 @dataclass
 class GeneratorConfig:
-    """Configuration of one dataset-generation run."""
+    """Configuration of one dataset-generation run.
+
+    ``engine`` selects the solver fidelity tier end-to-end (a registry name,
+    an engine instance — serial runs only — or a ``{fidelity: name}`` mapping
+    with an optional ``"*"`` default).  ``workers`` fans shards out across
+    processes (0 = all available cores); ``shard_size`` fixes the shard
+    layout independently of the worker count; ``shard_dir`` persists shards
+    as resumable artifacts (``resume=False`` forces recomputation).
+    """
 
     device_name: str = "bending"
     strategy: str = "perturbed_opt_traj"
@@ -34,6 +66,11 @@ class GeneratorConfig:
     seed: int = 0
     strategy_kwargs: dict | None = None
     device_kwargs: dict | None = None
+    engine: SolverEngine | str | dict | None = None
+    workers: int = 1
+    shard_size: int = 8
+    shard_dir: str | None = None
+    resume: bool = True
 
 
 class DatasetGenerator:
@@ -42,11 +79,37 @@ class DatasetGenerator:
     def __init__(self, config: GeneratorConfig | None = None, **overrides):
         if config is None:
             config = GeneratorConfig()
-        for key, value in overrides.items():
-            if not hasattr(config, key):
-                raise TypeError(f"unknown generator option {key!r}")
-            setattr(config, key, value)
+        if overrides:
+            for key in overrides:
+                if not hasattr(config, key):
+                    raise TypeError(f"unknown generator option {key!r}")
+            # Never mutate the caller's config: overrides apply to a copy.
+            config = replace(config, **overrides)
         self.config = config
+        self._validate_engine()
+
+    def _validate_engine(self) -> None:
+        """Fail fast on unknown engine names instead of inside a worker."""
+        engine = self.config.engine
+        if isinstance(engine, dict):
+            unknown = set(engine) - set(self.config.fidelities) - {"*"}
+            if unknown:
+                raise ValueError(
+                    f"engine mapping keys {sorted(unknown)} match no configured "
+                    f"fidelity {list(self.config.fidelities)} (use '*' for a default)"
+                )
+        for fidelity in self.config.fidelities:
+            engine = engine_for_fidelity(self.config.engine, fidelity)
+            if isinstance(engine, str) and engine.lower().strip() not in available_engines():
+                try:
+                    import repro.surrogate.neural_solver  # noqa: F401
+                except ImportError:  # pragma: no cover - NN stack unavailable
+                    pass
+                if engine.lower().strip() not in available_engines():
+                    raise ValueError(
+                        f"unknown engine {engine!r} for fidelity {fidelity!r}; "
+                        f"available: {available_engines()}"
+                    )
 
     # -- sampling ------------------------------------------------------------------
     def _sampler(self) -> SamplingStrategy:
@@ -65,7 +128,11 @@ class DatasetGenerator:
         return sampler.sample(device, self.config.num_designs, rng=rng)
 
     # -- generation -----------------------------------------------------------------
-    def generate(self, designs: list[DesignSample] | None = None) -> PhotonicDataset:
+    def generate(
+        self,
+        designs: list[DesignSample] | None = None,
+        workers: int | None = None,
+    ) -> PhotonicDataset:
         """Run all simulations and return the labelled dataset.
 
         Parameters
@@ -73,32 +140,76 @@ class DatasetGenerator:
         designs:
             Pre-sampled designs (at the reference fidelity); drawn with the
             configured strategy if omitted.
+        workers:
+            Overrides ``config.workers`` for this call (0 = all cores).  The
+            result is bit-identical for any worker count.
         """
         config = self.config
         if designs is None:
             designs = self.sample_designs()
+        if not designs:
+            raise ValueError("no designs to label")
+        workers = config.workers if workers is None else workers
 
-        labels = []
-        design_ids = []
-        reference_device = self._device(config.fidelities[0])
-        for fidelity in config.fidelities:
-            device = self._device(fidelity)
-            for design_id, design in enumerate(designs):
-                density = design.density
-                if device.design_shape != reference_device.design_shape:
-                    density = np.clip(
-                        resample_bilinear(density, device.design_shape), 0.0, 1.0
-                    )
-                # All specs of the design in one batched, factorize-once call.
-                design_labels = extract_labels_batch(
-                    device,
-                    density,
-                    with_gradient=config.with_gradient,
-                    fidelity=fidelity,
-                    stage=design.stage,
+        reference_shape = tuple(self._device(config.fidelities[0]).design_shape)
+        plan = plan_shards(config, num_designs=len(designs))
+        shard_dir = Path(config.shard_dir) if config.shard_dir else None
+        if shard_dir is not None:
+            shard_dir.mkdir(parents=True, exist_ok=True)
+
+        results: dict[int, tuple[list[RichLabels], list[int]]] = {}
+        pending: list[ShardTask] = []
+        for spec in plan:
+            densities = [designs[i].density for i in spec.design_ids]
+            stages = [designs[i].stage for i in spec.design_ids]
+            fingerprint = shard_fingerprint(config, spec, densities, stages)
+            path = shard_dir / shard_filename(fingerprint) if shard_dir else None
+            if path is not None and config.resume:
+                loaded = try_load_shard(path, fingerprint)
+                if loaded is not None:
+                    results[spec.index] = loaded
+                    continue
+            pending.append(
+                ShardTask(
+                    spec=spec,
+                    config=config,
+                    densities=densities,
+                    stages=stages,
+                    reference_shape=reference_shape,
+                    fingerprint=fingerprint,
+                    shard_path=str(path) if path is not None else None,
                 )
-                labels.extend(design_labels)
-                design_ids.extend([design_id] * len(design_labels))
+            )
+
+        num_workers = effective_workers(workers, len(pending))
+        if num_workers > 1 and self._has_engine_instance():
+            raise ValueError(
+                "engine instances cannot cross process boundaries; pass the "
+                "engine by registry name for parallel generation"
+            )
+        if num_workers <= 1:
+            # In-process execution: artifacts are still written for resume,
+            # but labels come back in memory (no compress/decompress detour).
+            for task in pending:
+                task.return_labels = True
+        outputs = run_tasks(run_shard, pending, workers=num_workers)
+        for task, output in zip(pending, outputs):
+            if isinstance(output, str):
+                loaded = try_load_shard(output, task.fingerprint)
+                if loaded is None:
+                    raise RuntimeError(f"worker wrote an unreadable shard: {output}")
+                results[task.spec.index] = loaded
+            else:
+                results[task.spec.index] = output
+
+        # Merge in plan order (fidelity-major, ascending design blocks): the
+        # exact order the serial loop produces.
+        labels: list[RichLabels] = []
+        design_ids: list[int] = []
+        for spec in plan:
+            shard_labels, shard_ids = results[spec.index]
+            labels.extend(shard_labels)
+            design_ids.extend(shard_ids)
 
         metadata = {
             "device": config.device_name,
@@ -107,8 +218,20 @@ class DatasetGenerator:
             "fidelities": list(config.fidelities),
             "seed": config.seed,
             "device_kwargs": dict(config.device_kwargs or {}),
+            "engine": {
+                fidelity: engine_tag(engine_for_fidelity(config.engine, fidelity))
+                for fidelity in config.fidelities
+            },
         }
         return PhotonicDataset.from_labels(labels, design_ids, metadata=metadata)
+
+    def _has_engine_instance(self) -> bool:
+        engine = self.config.engine
+        if isinstance(engine, SolverEngine):
+            return True
+        if isinstance(engine, dict):
+            return any(isinstance(value, SolverEngine) for value in engine.values())
+        return False
 
 
 def generate_dataset(
@@ -120,6 +243,9 @@ def generate_dataset(
     with_gradient: bool = True,
     strategy_kwargs: dict | None = None,
     device_kwargs: dict | None = None,
+    engine: SolverEngine | str | dict | None = None,
+    workers: int = 1,
+    shard_dir: str | None = None,
 ) -> PhotonicDataset:
     """One-call dataset generation (see :class:`DatasetGenerator`)."""
     config = GeneratorConfig(
@@ -131,5 +257,122 @@ def generate_dataset(
         with_gradient=with_gradient,
         strategy_kwargs=strategy_kwargs,
         device_kwargs=device_kwargs,
+        engine=engine,
+        workers=workers,
+        shard_dir=shard_dir,
     )
     return DatasetGenerator(config).generate()
+
+
+# --------------------------------------------------------------------------- #
+# command-line interface: python -m repro.data.generator
+# --------------------------------------------------------------------------- #
+def _parse_engine(value: str | None) -> str | dict | None:
+    """Parse ``--engine``: a name, or a ``low=iterative,high=direct`` mapping."""
+    if value is None or "=" not in value:
+        return value
+    mapping: dict[str, str] = {}
+    for item in value.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        fidelity, _, name = item.partition("=")
+        if not fidelity or not name:
+            raise argparse.ArgumentTypeError(
+                f"bad engine mapping entry {item!r}; expected fidelity=engine"
+            )
+        mapping[fidelity.strip()] = name.strip()
+    return mapping
+
+
+def _parse_json_dict(value: str | None) -> dict | None:
+    if value is None:
+        return None
+    parsed = json.loads(value)
+    if not isinstance(parsed, dict):
+        raise argparse.ArgumentTypeError(f"expected a JSON object, got {value!r}")
+    return parsed
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.data.generator",
+        description="Generate a labelled (multi-fidelity) photonic dataset.",
+    )
+    parser.add_argument("--device", default="bending", help="benchmark device name")
+    parser.add_argument(
+        "--strategy",
+        default="perturbed_opt_traj",
+        help="sampling strategy (random, opt_traj, perturbed_opt_traj)",
+    )
+    parser.add_argument("--num-designs", type=int, default=32)
+    parser.add_argument(
+        "--fidelities", nargs="+", default=["low"], help="fidelity levels to simulate"
+    )
+    parser.add_argument(
+        "--engine",
+        type=_parse_engine,
+        default=None,
+        help='solver engine name, or per-fidelity mapping "low=iterative,high=direct"',
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (0 = all cores)"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--shard-size", type=int, default=8, help="designs per shard")
+    parser.add_argument(
+        "--shard-dir", default=None, help="directory for resumable shard artifacts"
+    )
+    parser.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse finished shard artifacts in --shard-dir",
+    )
+    parser.add_argument(
+        "--no-gradient",
+        action="store_true",
+        help="skip adjoint-gradient labels (forward-only dataset)",
+    )
+    parser.add_argument(
+        "--device-kwargs", type=_parse_json_dict, default=None, help="JSON object"
+    )
+    parser.add_argument(
+        "--strategy-kwargs", type=_parse_json_dict, default=None, help="JSON object"
+    )
+    parser.add_argument("--output", "-o", default="dataset.npz", help="output .npz path")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    config = GeneratorConfig(
+        device_name=args.device,
+        strategy=args.strategy,
+        num_designs=args.num_designs,
+        fidelities=tuple(args.fidelities),
+        with_gradient=not args.no_gradient,
+        seed=args.seed,
+        strategy_kwargs=args.strategy_kwargs,
+        device_kwargs=args.device_kwargs,
+        engine=args.engine,
+        workers=args.workers,
+        shard_size=args.shard_size,
+        shard_dir=args.shard_dir,
+        resume=args.resume,
+    )
+    generator = DatasetGenerator(config)
+    start = time.perf_counter()
+    dataset = generator.generate()
+    elapsed = time.perf_counter() - start
+    dataset.save(args.output)
+    print(
+        f"generated {len(dataset)} samples "
+        f"({config.num_designs} designs x {len(config.fidelities)} fidelities) "
+        f"in {elapsed:.1f}s with workers={config.workers} -> {args.output}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

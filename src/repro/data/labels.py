@@ -15,8 +15,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.devices.base import Device, TargetSpec
+from repro.fdfd.engine import SolverEngine
 from repro.fdfd.simulation import Simulation
-from repro.invdes.adjoint import FieldBackend, evaluate_specs, simulation_group_key
+from repro.invdes.adjoint import (
+    FieldBackend,
+    NumericalFieldBackend,
+    evaluate_specs,
+    simulation_group_key,
+)
 
 
 @dataclass
@@ -60,6 +66,7 @@ def extract_labels_batch(
     fidelity: str | None = None,
     stage: str = "unknown",
     backend: FieldBackend | None = None,
+    engine: SolverEngine | str | None = None,
 ) -> list[RichLabels]:
     """Simulate one design under many excitation specs and extract all labels.
 
@@ -89,7 +96,15 @@ def extract_labels_batch(
         ``"random"``, ``"opt-traj:12"``, ``"perturbed"``).
     backend:
         Field backend used for the solves (engine-backed numerical default).
+    engine:
+        Solver engine or registry name (``"direct"``, ``"iterative"``, ...)
+        selecting the fidelity tier of the default numerical backend.
+        Mutually exclusive with ``backend``.
     """
+    if backend is None:
+        backend = NumericalFieldBackend(engine=engine)
+    elif engine is not None:
+        raise ValueError("pass either backend or engine, not both")
     if specs is None:
         specs = list(range(len(device.specs)))
     resolved: list[tuple[int, TargetSpec]] = []
@@ -133,7 +148,11 @@ def extract_labels_batch(
         sim = sim_by_key.get(sim_key)
         if sim is None:
             sim = Simulation(
-                device.grid, eps_r, spec.wavelength, device.geometry.ports
+                device.grid,
+                eps_r,
+                spec.wavelength,
+                device.geometry.ports,
+                engine=backend.engine,
             )
             sim_by_key[sim_key] = sim
         residual = sim.maxwell_residual(result)
@@ -172,6 +191,7 @@ def extract_labels(
     fidelity: str | None = None,
     stage: str = "unknown",
     backend: FieldBackend | None = None,
+    engine: SolverEngine | str | None = None,
 ) -> RichLabels:
     """Labels for a single (design, excitation) pair (see :func:`extract_labels_batch`)."""
     return extract_labels_batch(
@@ -182,6 +202,7 @@ def extract_labels(
         fidelity=fidelity,
         stage=stage,
         backend=backend,
+        engine=engine,
     )[0]
 
 

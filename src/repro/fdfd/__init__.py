@@ -49,9 +49,10 @@ from repro.fdfd.engine import (
     eps_fingerprint,
     make_engine,
     resolve_engine,
+    warmup_operators,
 )
 from repro.fdfd.solver import FdfdSolver
-from repro.fdfd.modes import solve_slab_modes, ModeProfile
+from repro.fdfd.modes import solve_slab_modes, solve_slab_modes_batch, ModeProfile
 from repro.fdfd.monitors import Port, poynting_flux_through_port, mode_overlap
 from repro.fdfd.simulation import ExcitationSpec, Simulation, SimulationResult
 
@@ -67,7 +68,9 @@ __all__ = [
     "make_engine",
     "resolve_engine",
     "available_engines",
+    "warmup_operators",
     "solve_slab_modes",
+    "solve_slab_modes_batch",
     "ModeProfile",
     "Port",
     "poynting_flux_through_port",

@@ -47,6 +47,7 @@ from repro.fdfd.grid import Grid
 __all__ = [
     "eps_fingerprint",
     "operators",
+    "warmup_operators",
     "assemble_system_matrix",
     "FactorizationCache",
     "CacheStats",
@@ -107,6 +108,21 @@ def operators(grid: Grid, omega: float) -> dict:
             _OPERATOR_CACHE.pop(next(iter(_OPERATOR_CACHE)))
         _OPERATOR_CACHE[key] = entry = derivs
     return entry
+
+
+def warmup_operators(grid: Grid, omegas: float | list[float]) -> int:
+    """Pre-build the permittivity-independent operators for a set of frequencies.
+
+    Worker processes of the sharded dataset generator call this once per
+    device before their solve loop, so derivative-operator assembly (shared by
+    every design of the shard) happens up front instead of inside the first
+    timed solve.  Returns the number of operator sets now cached.
+    """
+    if np.isscalar(omegas):
+        omegas = [omegas]
+    for omega in omegas:
+        operators(grid, float(omega))
+    return len(_OPERATOR_CACHE)
 
 
 def assemble_system_matrix(grid: Grid, omega: float, eps_r: np.ndarray) -> sp.csr_matrix:

@@ -51,47 +51,32 @@ class ModeProfile:
     wavelength: float = 0.0
 
 
-def solve_slab_modes(
-    eps_line: np.ndarray,
-    dl_um: float,
-    omega: float,
-    num_modes: int = 2,
-) -> list[ModeProfile]:
-    """Solve for the guided modes of a 1-D permittivity cross-section.
-
-    Parameters
-    ----------
-    eps_line:
-        Relative permittivity sampled along the cross-section.
-    dl_um:
-        Sampling step in micrometres.
-    omega:
-        Angular frequency in rad/s.
-    num_modes:
-        Maximum number of guided modes to return.
-
-    Returns
-    -------
-    list of ModeProfile
-        Guided modes sorted by decreasing effective index.  The list may be
-        shorter than ``num_modes`` (or empty) if the cross-section guides fewer
-        modes.
-    """
+def _check_eps_line(eps_line: np.ndarray) -> np.ndarray:
     eps_line = np.asarray(eps_line, dtype=float)
     if eps_line.ndim != 1:
         raise ValueError(f"expected a 1-D permittivity line, got shape {eps_line.shape}")
     if eps_line.size < 3:
         raise ValueError("cross-section must contain at least 3 points")
-    n = eps_line.size
-    dl_m = dl_um * 1e-6
-    k0 = omega / C_0  # rad/m
+    return eps_line
 
-    # Symmetric tridiagonal operator: second difference + k0^2 eps.
+
+def _slab_operator(eps_line: np.ndarray, dl_m: float, k0: float) -> np.ndarray:
+    """Dense symmetric tridiagonal operator: second difference + k0^2 eps."""
+    n = eps_line.size
     main = -2.0 * np.ones(n) / dl_m**2 + k0**2 * eps_line
     off = np.ones(n - 1) / dl_m**2
-    matrix = np.diag(main) + np.diag(off, 1) + np.diag(off, -1)
-    eigvals, eigvecs = np.linalg.eigh(matrix)
+    return np.diag(main) + np.diag(off, 1) + np.diag(off, -1)
 
+
+def _guided_modes(
+    eigvals: np.ndarray,
+    eigvecs: np.ndarray,
+    eps_line: np.ndarray,
+    dl_um: float,
+    k0: float,
+    num_modes: int,
+) -> list[ModeProfile]:
+    """Select, normalize and sign-fix the guided modes of one eigendecomposition."""
     eps_clad = float(eps_line.min())
     eps_core = float(eps_line.max())
     k0_um = k0 * 1e-6  # rad/um for effective-index bookkeeping
@@ -121,6 +106,81 @@ def solve_slab_modes(
         if len(modes) >= num_modes:
             break
     return modes
+
+
+def solve_slab_modes(
+    eps_line: np.ndarray,
+    dl_um: float,
+    omega: float,
+    num_modes: int = 2,
+) -> list[ModeProfile]:
+    """Solve for the guided modes of a 1-D permittivity cross-section.
+
+    Parameters
+    ----------
+    eps_line:
+        Relative permittivity sampled along the cross-section.
+    dl_um:
+        Sampling step in micrometres.
+    omega:
+        Angular frequency in rad/s.
+    num_modes:
+        Maximum number of guided modes to return.
+
+    Returns
+    -------
+    list of ModeProfile
+        Guided modes sorted by decreasing effective index.  The list may be
+        shorter than ``num_modes`` (or empty) if the cross-section guides fewer
+        modes.
+    """
+    return solve_slab_modes_batch([eps_line], dl_um, omega, num_modes=num_modes)[0]
+
+
+def solve_slab_modes_batch(
+    eps_lines: list[np.ndarray],
+    dl_um: float,
+    omega: float,
+    num_modes: int = 2,
+) -> list[list[ModeProfile]]:
+    """Solve the guided modes of many port cross-sections in one pass.
+
+    Cross-sections of equal length are stacked into a single batched
+    ``np.linalg.eigh`` call, so a simulation (or a dataset-generation shard)
+    pays one LAPACK dispatch per distinct line length instead of one dense
+    eigendecomposition per port per excitation.  Results per line are
+    identical to :func:`solve_slab_modes` on that line.
+
+    Parameters
+    ----------
+    eps_lines:
+        Relative-permittivity cross-sections (1-D arrays, possibly of
+        different lengths).
+    dl_um, omega, num_modes:
+        As in :func:`solve_slab_modes`, shared by every line.
+
+    Returns
+    -------
+    list of list of ModeProfile
+        One guided-mode list per input line, in input order.
+    """
+    lines = [_check_eps_line(line) for line in eps_lines]
+    dl_m = dl_um * 1e-6
+    k0 = omega / C_0  # rad/m
+
+    by_length: dict[int, list[int]] = {}
+    for index, line in enumerate(lines):
+        by_length.setdefault(line.size, []).append(index)
+
+    results: list[list[ModeProfile] | None] = [None] * len(lines)
+    for indices in by_length.values():
+        stack = np.stack([_slab_operator(lines[i], dl_m, k0) for i in indices], axis=0)
+        eigvals, eigvecs = np.linalg.eigh(stack)
+        for position, index in enumerate(indices):
+            results[index] = _guided_modes(
+                eigvals[position], eigvecs[position], lines[index], dl_um, k0, num_modes
+            )
+    return results
 
 
 def mode_source_amplitude(mode: ModeProfile) -> np.ndarray:

@@ -23,7 +23,7 @@ import numpy as np
 from repro.constants import wavelength_to_omega
 from repro.fdfd.engine import SolverEngine, eps_fingerprint
 from repro.fdfd.grid import Grid
-from repro.fdfd.modes import ModeProfile, mode_source_amplitude
+from repro.fdfd.modes import ModeProfile, mode_source_amplitude, solve_slab_modes_batch
 from repro.fdfd.monitors import Port, mode_overlap, poynting_flux_through_port
 from repro.fdfd.solver import FdfdSolver, FieldSolution
 
@@ -117,6 +117,10 @@ class Simulation:
         self.solver = FdfdSolver(grid, self.omega, engine=engine)
         self._eps_fingerprint = eps_fingerprint(eps_r)
         self._norm_cache: dict[tuple[str, int], tuple[float, complex]] = {}
+        # Port modes of the *current* permittivity: name -> (num_modes the
+        # solve was asked for, guided modes found).  Invalidated with the
+        # normalization cache whenever the permittivity changes.
+        self._mode_cache: dict[str, tuple[int, list[ModeProfile]]] = {}
 
     @property
     def engine(self) -> SolverEngine:
@@ -134,6 +138,7 @@ class Simulation:
         fingerprint = eps_fingerprint(self.eps_r)
         if fingerprint != self._eps_fingerprint:
             self._norm_cache.clear()
+            self._mode_cache.clear()
             self._eps_fingerprint = fingerprint
         return fingerprint
 
@@ -155,6 +160,7 @@ class Simulation:
         self.eps_r = eps_r
         self._eps_fingerprint = eps_fingerprint(eps_r)
         self._norm_cache.clear()
+        self._mode_cache.clear()
         # Evict only the superseded design operator.  Normalization
         # factorizations solved through the same solver are left to LRU aging:
         # they are keyed by content, other simulations of the same device may
@@ -165,17 +171,71 @@ class Simulation:
         self.solver._solved_fingerprints.discard(old_fingerprint)
 
     # -- sources ----------------------------------------------------------------------
+    @staticmethod
+    def _cached_modes_sufficient(
+        cached: tuple[int, list[ModeProfile]] | None, num_modes: int
+    ) -> bool:
+        """Whether a cache entry can serve a request for ``num_modes`` modes.
+
+        Sufficient if the cached solve asked for at least as many modes, or
+        found fewer than it asked for (meaning every guided mode of the
+        cross-section is already in the entry).
+        """
+        if cached is None:
+            return False
+        solved_for, modes = cached
+        return solved_for >= num_modes or len(modes) < solved_for
+
+    def _modes(self, port_name: str, num_modes: int) -> list[ModeProfile]:
+        """Cached guided modes of a port for the current permittivity.
+
+        A cached solve that asked for at least ``num_modes`` serves any
+        smaller request (mode selection is incremental, so the first ``k``
+        modes are independent of how many were requested).  Callers must have
+        validated the fingerprint via :meth:`_current_fingerprint` first.
+        """
+        cached = self._mode_cache.get(port_name)
+        if self._cached_modes_sufficient(cached, num_modes):
+            return cached[1][:num_modes]
+        port = self._port(port_name)
+        modes = port.solve_modes(self.eps_r, self.grid, self.omega, num_modes=num_modes)
+        self._mode_cache[port_name] = (num_modes, modes)
+        return modes
+
+    def _prepare_port_modes(self, requests: dict[str, int]) -> None:
+        """Solve all missing port modes in one batched eigendecomposition.
+
+        ``requests`` maps port names to the number of modes needed.  Every
+        port line that is not already cached (with enough modes) is solved
+        through :func:`~repro.fdfd.modes.solve_slab_modes_batch`, so a batch
+        of excitations pays one LAPACK dispatch per distinct line length
+        instead of one dense eigendecomposition per port per excitation.
+        """
+        missing: list[tuple[str, int]] = []
+        for name, num_modes in requests.items():
+            if not self._cached_modes_sufficient(self._mode_cache.get(name), num_modes):
+                missing.append((name, num_modes))
+        if not missing:
+            return
+        num_modes = max(n for _, n in missing)
+        lines = [
+            self._port(name).eps_line(self.eps_r, self.grid) for name, _ in missing
+        ]
+        solved = solve_slab_modes_batch(lines, self.grid.dl, self.omega, num_modes)
+        for (name, _), modes in zip(missing, solved):
+            self._mode_cache[name] = (num_modes, modes)
+
     def port_modes(self, port_name: str, num_modes: int = 2) -> list[ModeProfile]:
         """Guided modes of a port cross-section for the current permittivity."""
-        port = self._port(port_name)
-        return port.solve_modes(self.eps_r, self.grid, self.omega, num_modes=num_modes)
+        self._port(port_name)
+        self._current_fingerprint()
+        return self._modes(port_name, num_modes)
 
     def mode_source(self, port_name: str, mode_index: int = 0) -> np.ndarray:
         """Current source injecting the given port mode."""
         port = self._port(port_name)
-        modes = port.solve_modes(
-            self.eps_r, self.grid, self.omega, num_modes=mode_index + 1
-        )
+        self._current_fingerprint()
+        modes = self._modes(port_name, mode_index + 1)
         if len(modes) <= mode_index:
             raise ValueError(
                 f"port {port_name!r} guides only {len(modes)} mode(s); "
@@ -307,9 +367,25 @@ class Simulation:
         if not specs:
             return []
 
-        sources = []
+        # Validate the permittivity once (clears stale mode/normalization
+        # caches after in-place mutation), then solve every port mode the
+        # batch needs — sources and monitors alike — in one batched pass.
+        fingerprint = self._current_fingerprint()
+        requests: dict[str, int] = {}
         for spec in specs:
             self._port(spec.source_port)
+            if spec.source is None:
+                needed = spec.mode_index + 1
+                requests[spec.source_port] = max(requests.get(spec.source_port, 0), needed)
+            monitors = spec.monitor_ports
+            if monitors is None:
+                monitors = [name for name in self.ports if name != spec.source_port]
+            for name in monitors:
+                requests[name] = max(requests.get(name, 0), 1)
+        self._prepare_port_modes(requests)
+
+        sources = []
+        for spec in specs:
             if spec.source is None:
                 sources.append(self.mode_source(spec.source_port, spec.mode_index))
             else:
@@ -320,9 +396,7 @@ class Simulation:
                     )
                 sources.append(source)
 
-        solutions = self.solver.solve_batch(
-            self.eps_r, sources, fingerprint=self._current_fingerprint()
-        )
+        solutions = self.solver.solve_batch(self.eps_r, sources, fingerprint=fingerprint)
         return [
             self._measure(spec, source, solution)
             for spec, source, solution in zip(specs, sources, solutions)
@@ -347,7 +421,7 @@ class Simulation:
                 solution.ez, solution.hx, solution.hy, monitor, self.grid
             )
             fluxes[name] = float(flux)
-            modes = monitor.solve_modes(self.eps_r, self.grid, self.omega, num_modes=1)
+            modes = self._modes(name, 1)
             if modes:
                 overlap = mode_overlap(solution.ez, monitor, modes[0], self.grid)
             else:

@@ -2,6 +2,7 @@
 
 from repro.utils.rng import get_rng, seed_everything
 from repro.utils.config import Config
+from repro.utils.parallel import cpu_count, effective_workers, run_tasks
 from repro.utils.numerics import (
     normalized_l2,
     cosine_similarity,
@@ -13,6 +14,9 @@ __all__ = [
     "get_rng",
     "seed_everything",
     "Config",
+    "cpu_count",
+    "effective_workers",
+    "run_tasks",
     "normalized_l2",
     "cosine_similarity",
     "complex_to_channels",

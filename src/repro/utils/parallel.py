@@ -1,0 +1,69 @@
+"""Process-pool helpers with deterministic ordering and a serial fallback.
+
+The sharded dataset generator (and any future fan-out workload) maps a worker
+function over a task list.  :func:`run_tasks` keeps that seam small: results
+always come back in task order, ``workers <= 1`` runs everything in-process
+(no pickling, no subprocesses — the debuggable path), and environments where
+process pools cannot start (restricted sandboxes) degrade to the serial path
+instead of crashing.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+
+
+def cpu_count() -> int:
+    """Number of CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def effective_workers(workers: int | None, num_tasks: int | None = None) -> int:
+    """Resolve a worker-count request.
+
+    ``None`` or ``0`` means "all available cores"; the result is clamped to
+    the number of tasks (spawning more processes than tasks is pure overhead).
+    """
+    if workers is None or workers == 0:
+        workers = cpu_count()
+    workers = int(workers)
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if num_tasks is not None:
+        workers = min(workers, max(int(num_tasks), 1))
+    return max(workers, 1)
+
+
+def run_tasks(fn, tasks, workers: int | None = 1):
+    """Map ``fn`` over ``tasks``, preserving order.
+
+    With ``workers`` resolved to more than one, tasks fan out over a
+    ``ProcessPoolExecutor`` (``fn`` and every task must be picklable).
+    Pool-infrastructure failures — worker processes that cannot be spawned
+    (restricted sandboxes, fork EAGAIN) or a pool that dies mid-flight —
+    degrade to the serial in-process path, so ``fn`` must be idempotent.
+    Exceptions raised by ``fn`` itself propagate in both modes: they re-raise
+    from the futures and are never mistaken for pool failures.
+    """
+    tasks = list(tasks)
+    workers = effective_workers(workers, len(tasks))
+    if workers <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    executor = ProcessPoolExecutor(max_workers=workers)
+    try:
+        try:
+            # Worker spawn is lazy in CPython: submit() is where spawn
+            # failures surface, distinct from errors fn raises later.
+            futures = [executor.submit(fn, task) for task in tasks]
+        except (OSError, PermissionError):  # pragma: no cover - spawn failure
+            return [fn(task) for task in tasks]
+        try:
+            return [future.result() for future in futures]
+        except BrokenExecutor:  # pragma: no cover - pool died mid-run
+            return [fn(task) for task in tasks]
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)

@@ -20,8 +20,19 @@ from repro.data.analysis import (
     pattern_embedding,
     transmission_histogram,
 )
-from repro.data.generator import GeneratorConfig, generate_dataset
+from repro.data.generator import (
+    GeneratorConfig,
+    _parse_engine,
+    generate_dataset,
+    main as generator_main,
+)
 from repro.data.labels import field_target
+from repro.data.shards import (
+    engine_for_fidelity,
+    plan_shards,
+    shard_fingerprint,
+)
+from repro.fdfd.engine import DirectEngine
 
 from tests.conftest import TINY_DEVICE_KWARGS
 
@@ -199,6 +210,213 @@ class TestGenerator:
     def test_unknown_option_rejected(self):
         with pytest.raises(TypeError):
             DatasetGenerator(num_design=3)
+
+    def test_overrides_do_not_mutate_caller_config(self):
+        """Regression: **overrides used to be written into the caller's config."""
+        config = GeneratorConfig(num_designs=7, strategy="random")
+        generator = DatasetGenerator(config, num_designs=2, seed=5)
+        assert config.num_designs == 7 and config.seed == 0
+        assert generator.config.num_designs == 2 and generator.config.seed == 5
+        assert generator.config is not config
+
+    def test_unknown_engine_rejected_early(self):
+        with pytest.raises(ValueError):
+            DatasetGenerator(GeneratorConfig(engine="quantum"))
+        with pytest.raises(ValueError):
+            DatasetGenerator(
+                GeneratorConfig(fidelities=("low", "high"), engine={"high": "quantum"})
+            )
+
+    def test_typoed_engine_mapping_key_rejected(self):
+        """A mapping key matching no fidelity must not fall back silently."""
+        with pytest.raises(ValueError, match="match no configured fidelity"):
+            DatasetGenerator(GeneratorConfig(engine={"lo": "iterative"}))
+        # "*" is the documented default key and stays accepted.
+        DatasetGenerator(
+            GeneratorConfig(fidelities=("low", "high"), engine={"low": "iterative", "*": "direct"})
+        )
+
+    def test_engine_selection_reaches_metadata(self):
+        dataset = generate_dataset(
+            "bending",
+            "random",
+            num_designs=2,
+            seed=1,
+            with_gradient=False,
+            device_kwargs=TINY_DEVICE_KWARGS,
+            engine="iterative",
+        )
+        assert dataset.metadata["engine"] == {"low": "iterative"}
+
+
+class TestEngineForFidelity:
+    def test_passthrough_and_mapping(self):
+        assert engine_for_fidelity(None, "low") is None
+        assert engine_for_fidelity("direct", "high") == "direct"
+        engine = DirectEngine()
+        assert engine_for_fidelity(engine, "low") is engine
+        mapping = {"low": "iterative", "*": "direct"}
+        assert engine_for_fidelity(mapping, "low") == "iterative"
+        assert engine_for_fidelity(mapping, "high") == "direct"
+        assert engine_for_fidelity({"low": "iterative"}, "high") is None
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            engine_for_fidelity(42, "low")
+
+
+class TestShardPlanning:
+    def test_layout_covers_all_designs_per_fidelity(self):
+        config = GeneratorConfig(num_designs=10, shard_size=3, fidelities=("low", "high"))
+        plan = plan_shards(config)
+        assert len(plan) == 8  # ceil(10/3) = 4 blocks x 2 fidelities
+        for fidelity in ("low", "high"):
+            ids = [
+                i for spec in plan if spec.fidelity == fidelity for i in spec.design_ids
+            ]
+            assert ids == list(range(10))
+        assert [spec.index for spec in plan] == list(range(len(plan)))
+
+    def test_layout_independent_of_workers(self):
+        from dataclasses import replace
+
+        config = GeneratorConfig(num_designs=9, shard_size=2)
+        plan = plan_shards(config)
+        again = plan_shards(replace(config, workers=8))
+        assert [s.design_ids for s in again] == [s.design_ids for s in plan]
+        assert [s.rng_seed for s in again] == [s.rng_seed for s in plan]
+
+    def test_per_shard_rng_streams_distinct_and_seed_dependent(self):
+        config = GeneratorConfig(num_designs=8, shard_size=2)
+        seeds = [spec.rng_seed for spec in plan_shards(config)]
+        assert len(set(seeds)) == len(seeds)
+        from dataclasses import replace
+
+        reseeded = [spec.rng_seed for spec in plan_shards(replace(config, seed=1))]
+        assert reseeded != seeds
+
+    def test_fingerprint_tracks_design_content_and_engine(self):
+        config = GeneratorConfig(num_designs=2, strategy="random")
+        spec = plan_shards(config)[0]
+        densities = [np.zeros((4, 4)), np.ones((4, 4))]
+        stages = ["random", "random"]
+        base = shard_fingerprint(config, spec, densities, stages)
+        assert base == shard_fingerprint(
+            config, spec, [d.copy() for d in densities], stages
+        )
+        bumped = [densities[0], densities[1] + 1e-12]
+        assert base != shard_fingerprint(config, spec, bumped, stages)
+        from dataclasses import replace
+
+        other_engine = replace(config, engine="iterative")
+        assert base != shard_fingerprint(other_engine, spec, densities, stages)
+
+
+class TestShardedGeneration:
+    CONFIG_KWARGS = dict(
+        device_name="bending",
+        strategy="random",
+        num_designs=4,
+        with_gradient=False,
+        seed=3,
+        device_kwargs=TINY_DEVICE_KWARGS,
+        shard_size=2,
+    )
+
+    @staticmethod
+    def _assert_bit_identical(left, right):
+        from repro.data.dataset import datasets_bit_identical
+
+        assert datasets_bit_identical(left, right)
+
+    def test_parallel_bit_identical_to_serial(self):
+        serial = DatasetGenerator(GeneratorConfig(**self.CONFIG_KWARGS, workers=1)).generate()
+        parallel = DatasetGenerator(
+            GeneratorConfig(**self.CONFIG_KWARGS, workers=2)
+        ).generate()
+        self._assert_bit_identical(serial, parallel)
+
+    def test_resume_reuses_artifacts(self, tmp_path, monkeypatch):
+        config = GeneratorConfig(**self.CONFIG_KWARGS, shard_dir=str(tmp_path))
+        first = DatasetGenerator(config).generate()
+        shard_files = sorted(tmp_path.glob("shard_*.npz"))
+        assert len(shard_files) == 2  # 4 designs / shard_size 2
+
+        import repro.data.generator as generator_module
+
+        def explode(task):
+            raise AssertionError("shard recomputed despite valid artifacts")
+
+        monkeypatch.setattr(generator_module, "run_shard", explode)
+        resumed = DatasetGenerator(config).generate()
+        self._assert_bit_identical(first, resumed)
+
+    def test_artifact_roundtrip_matches_in_memory(self, tmp_path):
+        in_memory = DatasetGenerator(GeneratorConfig(**self.CONFIG_KWARGS)).generate()
+        via_disk = DatasetGenerator(
+            GeneratorConfig(**self.CONFIG_KWARGS, shard_dir=str(tmp_path))
+        ).generate()
+        self._assert_bit_identical(in_memory, via_disk)
+
+    def test_corrupt_artifact_recomputed(self, tmp_path):
+        config = GeneratorConfig(**self.CONFIG_KWARGS, shard_dir=str(tmp_path))
+        first = DatasetGenerator(config).generate()
+        shards = sorted(tmp_path.glob("shard_*.npz"))
+        shards[0].write_bytes(b"not an npz file")  # raises ValueError on load
+        # Truncated archive keeping the zip magic raises zipfile.BadZipFile.
+        shards[1].write_bytes(shards[1].read_bytes()[:40])
+        recovered = DatasetGenerator(config).generate()
+        self._assert_bit_identical(first, recovered)
+
+    def test_engine_instances_rejected_for_parallel_runs(self):
+        config = GeneratorConfig(
+            **self.CONFIG_KWARGS, engine=DirectEngine(), workers=2
+        )
+        generator = DatasetGenerator(config)
+        with pytest.raises(ValueError):
+            generator.generate()
+
+
+class TestGeneratorCLI:
+    def test_engine_argument_parsing(self):
+        assert _parse_engine(None) is None
+        assert _parse_engine("direct") == "direct"
+        assert _parse_engine("low=iterative,high=direct") == {
+            "low": "iterative",
+            "high": "direct",
+        }
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_engine("low=")
+
+    def test_main_generates_and_saves(self, tmp_path):
+        import json
+
+        output = tmp_path / "cli_dataset.npz"
+        exit_code = generator_main(
+            [
+                "--device",
+                "bending",
+                "--strategy",
+                "random",
+                "--num-designs",
+                "2",
+                "--no-gradient",
+                "--engine",
+                "direct",
+                "--workers",
+                "1",
+                "--device-kwargs",
+                json.dumps(TINY_DEVICE_KWARGS),
+                "--output",
+                str(output),
+            ]
+        )
+        assert exit_code == 0
+        loaded = PhotonicDataset.load(output)
+        assert len(loaded) == 2
+        assert loaded.metadata["engine"] == {"low": "direct"}
 
 
 class TestAnalysis:

@@ -119,6 +119,39 @@ class TestFactorizationCache:
         with pytest.raises(ValueError):
             FactorizationCache(maxsize=0)
 
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FACTORIZATION_CACHE_SIZE", "3")
+        assert FactorizationCache().maxsize == 3
+        monkeypatch.setenv("REPRO_FACTORIZATION_CACHE_SIZE", "0")
+        with pytest.raises(ValueError):
+            FactorizationCache()
+        monkeypatch.delenv("REPRO_FACTORIZATION_CACHE_SIZE")
+        assert FactorizationCache().maxsize == 8
+
+    def test_lru_eviction_order_respects_access(self):
+        """A get refreshes an entry: the least-recently *used* entry goes first."""
+        cache = FactorizationCache(maxsize=2)
+        grid = Grid(nx=20, ny=20, dl=0.1, npml=5)
+        cache.get_or_build(grid, OMEGA, "a", lambda: "A")
+        cache.get_or_build(grid, OMEGA, "b", lambda: "B")
+        cache.get_or_build(grid, OMEGA, "a", lambda: "A'")  # hit: a is now newest
+        cache.get_or_build(grid, OMEGA, "c", lambda: "C")  # evicts b, not a
+        assert cache.peek(grid, OMEGA, "a") == "A"
+        assert cache.peek(grid, OMEGA, "b") is None
+        assert cache.peek(grid, OMEGA, "c") == "C"
+
+    def test_in_place_eps_mutation_invalidates_fingerprint(self):
+        """Content fingerprints key the cache: mutated eps_r never hits stale LUs."""
+        grid, eps, _ = _straight_waveguide()
+        engine = DirectEngine(cache=FactorizationCache())
+        rhs = np.stack(_point_sources(grid, 1))
+        first = engine.solve_batch(grid, OMEGA, eps, rhs)
+        assert engine.cache.stats.misses == 1
+        eps[grid.nx // 2 - 2 : grid.nx // 2 + 2, :] = 1.0  # mutate in place
+        second = engine.solve_batch(grid, OMEGA, eps, rhs)
+        assert engine.cache.stats.misses == 2  # refactorized, no stale hit
+        assert np.max(np.abs(first - second)) > 1e-6 * np.max(np.abs(first))
+
 
 # --------------------------------------------------------------------------- #
 # engine equivalence
@@ -348,6 +381,73 @@ class TestAdjointFactorizesOnce:
             np.testing.assert_allclose(
                 bat.grad_density, seq.grad_density, rtol=1e-8, atol=1e-20
             )
+
+
+# --------------------------------------------------------------------------- #
+# engine equivalence: forward + adjoint across tiers and grid sizes
+# --------------------------------------------------------------------------- #
+GRID_SIZES = [
+    dict(domain=3.0, design_size=1.4, dl=0.1),
+    dict(domain=2.4, design_size=1.1, dl=0.08),
+]
+
+
+class TestEngineEquivalence:
+    """Direct and iterative tiers agree on objectives *and* adjoint gradients."""
+
+    @staticmethod
+    def _density(device):
+        return np.clip(
+            0.5 + 0.2 * np.random.default_rng(11).normal(size=device.design_shape), 0, 1
+        )
+
+    @staticmethod
+    def _evaluate(device, density, engine):
+        backend = NumericalFieldBackend(engine=engine)
+        return evaluate_spec(
+            device, density, device.specs[0], backend=backend, compute_gradient=True
+        )
+
+    @pytest.mark.parametrize("device_kwargs", GRID_SIZES)
+    @pytest.mark.parametrize("engine_name", ["direct", "iterative"])
+    def test_forward_and_adjoint_consistency(self, engine_name, device_kwargs):
+        from repro.devices.factory import make_device
+
+        device = make_device("bending", **device_kwargs)
+        density = self._density(device)
+        reference = self._evaluate(
+            device, density, DirectEngine(cache=FactorizationCache())
+        )
+        if engine_name == "direct":
+            engine = DirectEngine(cache=FactorizationCache())
+        else:
+            engine = IterativeEngine(rtol=1e-12, cache=FactorizationCache())
+        evaluation = self._evaluate(device, density, engine)
+
+        assert evaluation.objective_value == pytest.approx(
+            reference.objective_value, rel=1e-6
+        )
+        scale = np.max(np.abs(reference.grad_density))
+        assert scale > 0
+        np.testing.assert_allclose(
+            evaluation.grad_density,
+            reference.grad_density,
+            rtol=1e-5,
+            atol=1e-7 * scale,
+        )
+
+    @pytest.mark.parametrize("device_kwargs", GRID_SIZES)
+    def test_transmissions_agree_across_engines(self, device_kwargs):
+        from repro.devices.factory import make_device
+
+        device = make_device("bending", **device_kwargs)
+        density = self._density(device)
+        exact = self._evaluate(device, density, DirectEngine(cache=FactorizationCache()))
+        approx = self._evaluate(
+            device, density, IterativeEngine(rtol=1e-12, cache=FactorizationCache())
+        )
+        for port, value in exact.transmissions.items():
+            assert approx.transmissions[port] == pytest.approx(value, abs=1e-8)
 
 
 # --------------------------------------------------------------------------- #

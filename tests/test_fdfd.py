@@ -175,6 +175,98 @@ class TestModes:
         with pytest.raises(ValueError):
             solve_slab_modes(np.ones(2), 0.05, OMEGA)
 
+    def test_modes_orthonormal(self):
+        """Regression: unit L2 norm per mode, orthogonality between modes."""
+        modes = solve_slab_modes(self._slab_eps(width_um=1.2), 0.05, OMEGA, num_modes=3)
+        assert len(modes) >= 2
+        for i, mode_i in enumerate(modes):
+            for j, mode_j in enumerate(modes):
+                inner = np.sum(mode_i.profile * mode_j.profile) * mode_i.dl
+                assert inner == pytest.approx(1.0 if i == j else 0.0, abs=1e-9)
+
+    def test_mode_ordering_regression(self):
+        """Modes come back fundamental-first with contiguous order tags."""
+        modes = solve_slab_modes(self._slab_eps(width_um=1.2), 0.05, OMEGA, num_modes=4)
+        assert len(modes) >= 2
+        neffs = [mode.neff for mode in modes]
+        assert neffs == sorted(neffs, reverse=True)
+        assert [mode.order for mode in modes] == list(range(len(modes)))
+        for mode in modes:
+            assert constants.N_SIO2 < mode.neff < constants.N_SI
+
+    def test_overlap_coefficient_reciprocity(self):
+        """<phi_a, phi_b> == <phi_b, phi_a>: the overlap is symmetric."""
+        modes = solve_slab_modes(self._slab_eps(width_um=1.2), 0.05, OMEGA, num_modes=2)
+        assert len(modes) == 2
+        forward = overlap_coefficient(modes[0].profile, modes[1])
+        backward = overlap_coefficient(modes[1].profile, modes[0])
+        assert forward == pytest.approx(backward, abs=1e-12)
+        # Complex field lines keep the same symmetry (no conjugation).
+        field = (modes[0].profile + 0.3j * modes[1].profile).astype(complex)
+        direct = overlap_coefficient(field, modes[1])
+        manual = complex(np.sum(field * modes[1].profile) * modes[1].dl)
+        assert direct == pytest.approx(manual, rel=1e-12)
+
+    def test_batched_matches_single(self):
+        from repro.fdfd.modes import solve_slab_modes_batch
+
+        lines = [
+            self._slab_eps(width_um=0.48),
+            self._slab_eps(width_um=1.2),
+            self._slab_eps(width_um=0.8, span=2.0),  # different length
+            np.full(60, constants.EPS_SIO2),  # guides nothing
+        ]
+        batched = solve_slab_modes_batch(lines, 0.05, OMEGA, num_modes=3)
+        assert len(batched) == len(lines)
+        assert batched[3] == []
+        for line, modes in zip(lines, batched):
+            singles = solve_slab_modes(line, 0.05, OMEGA, num_modes=3)
+            assert len(modes) == len(singles)
+            for got, want in zip(modes, singles):
+                assert got.neff == pytest.approx(want.neff, rel=1e-12)
+                np.testing.assert_allclose(got.profile, want.profile, atol=1e-10)
+
+    def test_batched_invalid_line_rejected(self):
+        from repro.fdfd.modes import solve_slab_modes_batch
+
+        with pytest.raises(ValueError):
+            solve_slab_modes_batch([self._slab_eps(), np.ones(2)], 0.05, OMEGA)
+
+    def test_simulation_batches_port_mode_solves(self):
+        """One batched eigendecomposition pass per permittivity, not per call."""
+        import repro.fdfd.simulation as simulation_module
+        from repro.fdfd import Grid, Port, Simulation
+
+        grid = Grid(nx=40, ny=40, dl=0.1, npml=8)
+        eps = np.full(grid.shape, constants.EPS_SIO2)
+        y = grid.y_coords()
+        eps[:, np.abs(y - grid.size_y / 2) <= 0.24] = constants.EPS_SI
+        margin = 11 * 0.1
+        ports = [
+            Port("in", "x", position=margin, center=grid.size_y / 2, span=1.44),
+            Port("out", "x", position=grid.size_x - margin, center=grid.size_y / 2, span=1.44),
+        ]
+        sim = Simulation(grid, eps, 1.55, ports)
+
+        calls = []
+        original = simulation_module.solve_slab_modes_batch
+
+        def counting(lines, *args, **kwargs):
+            calls.append(len(lines))
+            return original(lines, *args, **kwargs)
+
+        simulation_module.solve_slab_modes_batch = counting
+        try:
+            sim.solve("in")
+            assert calls == [2]  # source + monitor lines in one batch
+            sim.solve("in")
+            assert calls == [2]  # cached: no further eigendecompositions
+            sim.eps_r[:, :2] = 1.0  # in-place mutation invalidates the cache
+            sim.solve("in")
+            assert calls == [2, 2]
+        finally:
+            simulation_module.solve_slab_modes_batch = original
+
 
 # --------------------------------------------------------------------------- #
 # solver + simulation physics
