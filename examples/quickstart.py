@@ -29,7 +29,12 @@ def main() -> None:
     print(f"radiation loss: {result.radiation:.3f}")
 
     # 3. Inverse design: maximize transmission with the adjoint method.
-    problem = InverseDesignProblem(device)
+    #    engine="recycled" is the optimization-loop solver tier: instead of
+    #    re-factorizing the Maxwell operator every Adam step, it recycles the
+    #    previous factorization (plus warm-started solves) for ~2x faster
+    #    iterations at identical gradients.  Drop the argument (or pass
+    #    engine="iterative"/"neural") to pick another fidelity tier.
+    problem = InverseDesignProblem(device, engine="recycled")
     optimizer = AdjointOptimizer(
         problem, learning_rate=0.2, beta_schedule={0: 4.0, 10: 8.0, 20: 16.0}
     )

@@ -16,6 +16,10 @@ Every linear solve in the package flows through the pluggable engine layer in
   stacked right-hand sides (forward, adjoint and normalization solves).
 * :class:`~repro.fdfd.engine.IterativeEngine` — ILU-preconditioned
   BiCGStab/GMRES, the cheap approximate tier.
+* :class:`~repro.fdfd.engine.RecycledEngine` — the optimization-loop tier:
+  exact-LU-preconditioned Krylov solves recycled across the nearby operators
+  an optimizer visits, with warm starts threaded through a
+  :class:`~repro.fdfd.engine.SolveWorkspace`.
 * ``"neural"`` — a trained surrogate (registered by :mod:`repro.surrogate`),
   making fidelity selection (``"high"``/``"low"``/``"neural"``) a one-line
   engine swap.
@@ -43,7 +47,9 @@ from repro.fdfd.engine import (
     DirectEngine,
     FactorizationCache,
     IterativeEngine,
+    RecycledEngine,
     SolverEngine,
+    SolveWorkspace,
     available_engines,
     default_factorization_cache,
     eps_fingerprint,
@@ -62,6 +68,8 @@ __all__ = [
     "SolverEngine",
     "DirectEngine",
     "IterativeEngine",
+    "RecycledEngine",
+    "SolveWorkspace",
     "FactorizationCache",
     "default_factorization_cache",
     "eps_fingerprint",

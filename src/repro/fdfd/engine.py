@@ -13,6 +13,11 @@ the fidelity tier:
   are triangular back-substitutions against the same LU).
 * :class:`IterativeEngine` — BiCGStab/GMRES with an incomplete-LU
   preconditioner: a cheap, approximate low-fidelity tier.
+* :class:`RecycledEngine` — the optimization-loop tier: keeps the exact LU of
+  a *reference* permittivity and solves nearby permittivities (consecutive
+  Adam iterates differ only on the operator diagonal) with LU-preconditioned
+  Krylov iterations, refactorizing only when the design drifts too far or the
+  iteration counts creep up.
 * ``"neural"`` — a trained surrogate registered by
   :mod:`repro.surrogate.neural_solver` (see :class:`NeuralEngine` there).
 
@@ -32,6 +37,7 @@ accepted (``Simulation(engine="...")``, ``FdfdSolver(engine=...)``,
 from __future__ import annotations
 
 import hashlib
+import itertools
 import os
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -49,12 +55,16 @@ __all__ = [
     "operators",
     "warmup_operators",
     "assemble_system_matrix",
+    "update_system_diagonal",
     "FactorizationCache",
     "CacheStats",
     "default_factorization_cache",
+    "SolveWorkspace",
     "SolverEngine",
     "DirectEngine",
     "IterativeEngine",
+    "RecycledEngine",
+    "RecycleStats",
     "CountingEngine",
     "register_engine",
     "available_engines",
@@ -85,8 +95,12 @@ def eps_fingerprint(eps_r: np.ndarray) -> str:
 # --------------------------------------------------------------------------- #
 # operator assembly (shared, permittivity-independent parts cached)
 # --------------------------------------------------------------------------- #
-_OPERATOR_CACHE: dict[tuple[Grid, float], dict] = {}
-_OPERATOR_CACHE_MAX = 8
+_OPERATOR_CACHE: OrderedDict[tuple[Grid, float], dict] = OrderedDict()
+
+
+def _operator_cache_maxsize() -> int:
+    """Capacity of the operator cache (``REPRO_OPERATOR_CACHE_SIZE``, min 1)."""
+    return max(1, int(os.environ.get("REPRO_OPERATOR_CACHE_SIZE", "8")))
 
 
 def operators(grid: Grid, omega: float) -> dict:
@@ -94,8 +108,9 @@ def operators(grid: Grid, omega: float) -> dict:
 
     The returned dict contains ``Dxf``/``Dxb``/``Dyf``/``Dyb`` and
     ``curl_curl`` (the permittivity-independent part of the Maxwell operator).
-    Cached process-wide: every solver, normalization run and monitor working
-    on the same grid shares one set of sparse matrices.
+    Cached process-wide with true LRU behaviour — a hit refreshes the entry,
+    so a hot grid survives however many cold ones pass through.  Capacity is
+    controlled by ``REPRO_OPERATOR_CACHE_SIZE`` (default 8, read on insert).
     """
     key = (grid, float(omega))
     entry = _OPERATOR_CACHE.get(key)
@@ -104,9 +119,11 @@ def operators(grid: Grid, omega: float) -> dict:
         derivs["curl_curl"] = (
             derivs["Dxf"] @ derivs["Dxb"] + derivs["Dyf"] @ derivs["Dyb"]
         ) / MU_0
-        if len(_OPERATOR_CACHE) >= _OPERATOR_CACHE_MAX:
-            _OPERATOR_CACHE.pop(next(iter(_OPERATOR_CACHE)))
+        while len(_OPERATOR_CACHE) >= _operator_cache_maxsize():
+            _OPERATOR_CACHE.popitem(last=False)
         _OPERATOR_CACHE[key] = entry = derivs
+    else:
+        _OPERATOR_CACHE.move_to_end(key)
     return entry
 
 
@@ -125,13 +142,77 @@ def warmup_operators(grid: Grid, omegas: float | list[float]) -> int:
     return len(_OPERATOR_CACHE)
 
 
+def _system_template(grid: Grid, omega: float) -> dict:
+    """CSR template of ``A(eps)`` with pre-located diagonal entries.
+
+    ``A(eps) = curl_curl + omega^2 eps0 diag(eps)``: consecutive operators on
+    the same grid share everything except the diagonal.  The template — built
+    once per ``(grid, omega)`` and stored with the cached operators — holds
+    the CSR pattern of the full operator plus, per row, the position of the
+    diagonal entry inside the ``data`` array, so assembling a new permittivity
+    is a data copy and a vectorized diagonal overwrite instead of a sparse
+    matrix re-summation.
+    """
+    entry = operators(grid, omega)
+    template = entry.get("system_template")
+    if template is None:
+        # Adding an explicit (zero) diagonal fixes the union sparsity pattern
+        # of curl_curl + diags(...), so incremental updates are bit-identical
+        # to from-scratch assembly for any diagonal values.
+        matrix = (entry["curl_curl"] + sp.diags(np.zeros(grid.n_points))).tocsr()
+        matrix.sort_indices()
+        rows = np.repeat(np.arange(grid.n_points), np.diff(matrix.indptr))
+        diag_positions = np.flatnonzero(matrix.indices == rows)
+        if diag_positions.size != grid.n_points:  # pragma: no cover - defensive
+            raise RuntimeError("system-matrix template is missing diagonal entries")
+        entry["system_template"] = template = {
+            "matrix": matrix,
+            "diag_positions": diag_positions,
+            "base_diagonal": matrix.data[diag_positions].copy(),
+        }
+    return template
+
+
 def assemble_system_matrix(grid: Grid, omega: float, eps_r: np.ndarray) -> sp.csr_matrix:
-    """Assemble the Maxwell operator ``A(eps_r)`` for one grid and frequency."""
+    """Assemble the Maxwell operator ``A(eps_r)`` for one grid and frequency.
+
+    Uses the cached :func:`_system_template`: only the operator diagonal
+    depends on the permittivity, so assembly copies the template data and
+    overwrites the diagonal in place — bit-identical to (but much cheaper
+    than) re-summing ``curl_curl + diags(...)``.  The returned matrix owns its
+    ``data`` but shares the index structure with the template; treat the
+    sparsity pattern as read-only.
+    """
     eps_r = np.asarray(eps_r)
     if eps_r.shape != grid.shape:
         raise ValueError(f"eps_r shape {eps_r.shape} does not match grid {grid.shape}")
+    template = _system_template(grid, omega)
+    data = template["matrix"].data.copy()
     diagonal = omega**2 * EPSILON_0 * eps_r.ravel()
-    return (operators(grid, omega)["curl_curl"] + sp.diags(diagonal)).tocsr()
+    data[template["diag_positions"]] = template["base_diagonal"] + diagonal
+    base = template["matrix"]
+    return sp.csr_matrix((data, base.indices, base.indptr), shape=base.shape)
+
+
+def update_system_diagonal(
+    matrix: sp.csr_matrix, grid: Grid, omega: float, eps_r: np.ndarray
+) -> sp.csr_matrix:
+    """Refresh the permittivity diagonal of an assembled operator in place.
+
+    ``matrix`` must come from :func:`assemble_system_matrix` for the same
+    ``(grid, omega)`` (same sparsity template).  This is the zero-allocation
+    path used by :class:`RecycledEngine`, whose optimization-loop solves see a
+    new diagonal every iteration but an otherwise identical operator.
+    """
+    eps_r = np.asarray(eps_r)
+    if eps_r.shape != grid.shape:
+        raise ValueError(f"eps_r shape {eps_r.shape} does not match grid {grid.shape}")
+    template = _system_template(grid, omega)
+    if matrix.data.shape != template["matrix"].data.shape:
+        raise ValueError("matrix does not match the system template for this grid")
+    diagonal = omega**2 * EPSILON_0 * eps_r.ravel()
+    matrix.data[template["diag_positions"]] = template["base_diagonal"] + diagonal
+    return matrix
 
 
 # --------------------------------------------------------------------------- #
@@ -231,8 +312,86 @@ programs that are done solving can release the memory explicitly with
 
 
 # --------------------------------------------------------------------------- #
+# warm-start workspace
+# --------------------------------------------------------------------------- #
+class SolveWorkspace:
+    """Cross-iteration store of fields reused as Krylov initial guesses.
+
+    Optimization loops solve an almost-identical system every iteration; the
+    previous iteration's forward and adjoint fields are excellent initial
+    guesses for the next one.  A workspace maps caller-chosen keys (the
+    inverse-design backend keys on ``(spec, wavelength, device state)``) to
+    the last solution stored under them.  Guesses only affect how fast a
+    warm-startable engine converges — never what it converges to — so a stale
+    or missing guess is always safe.
+
+    Invalidate (:meth:`invalidate`) whenever the design jumps discontinuously,
+    e.g. on a binarization beta-schedule step: the stored fields are then far
+    from the new solution and would only slow convergence down.
+    """
+
+    def __init__(self):
+        # key -> (last field, field before that); the pair enables secant
+        # extrapolation of the smooth field trajectory an optimizer traces.
+        self._fields: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def guess(self, key, shape: tuple[int, ...] | None = None) -> np.ndarray | None:
+        """Best initial guess for ``key`` (None when absent or mis-shaped).
+
+        With one stored field the guess is that field; with two it is the
+        linear (secant) extrapolation ``2 f_k - f_{k-1}`` — optimizer steps
+        are smooth, so extrapolating the trajectory lands closer to the next
+        solution than replaying the last one.
+        """
+        entry = self._fields.get(key)
+        if entry is None or (shape is not None and entry[0].shape != tuple(shape)):
+            self.misses += 1
+            return None
+        self.hits += 1
+        current, previous = entry
+        if previous is None or previous.shape != current.shape:
+            return current
+        return 2.0 * current - previous
+
+    def store(self, key, field: np.ndarray) -> None:
+        """Remember ``field`` as the next initial guess for ``key``."""
+        entry = self._fields.get(key)
+        previous = entry[0] if entry is not None else None
+        self._fields[key] = (np.asarray(field, dtype=complex), previous)
+
+    def guess_stack(self, keys: list, shape: tuple[int, ...]) -> np.ndarray | None:
+        """Stacked guesses for a batch of solves, zero where nothing is stored.
+
+        Returns None when no key has a guess (a cold start), so engines can
+        skip the warm-start path entirely.
+        """
+        guesses = [self.guess(key, shape) for key in keys]
+        if all(guess is None for guess in guesses):
+            return None
+        x0 = np.zeros((len(keys), *shape), dtype=complex)
+        for index, guess in enumerate(guesses):
+            if guess is not None:
+                x0[index] = guess
+        return x0
+
+    def invalidate(self) -> None:
+        """Drop every stored field (design changed discontinuously)."""
+        self._fields.clear()
+        self.invalidations += 1
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+
+# --------------------------------------------------------------------------- #
 # engines
 # --------------------------------------------------------------------------- #
+_FIDELITY_TOKENS = itertools.count()
+
+
 class SolverEngine:
     """Interface of a fidelity tier: batched linear solves of ``A(eps) x = b``.
 
@@ -244,6 +403,26 @@ class SolverEngine:
 
     name: str = "abstract"
 
+    #: Whether ``solve_batch``'s ``x0`` initial guesses can speed this engine
+    #: up.  Callers use it to decide whether threading a
+    #: :class:`SolveWorkspace` through their solves is worth the bookkeeping.
+    supports_warm_start: bool = False
+
+    @property
+    def fidelity_signature(self) -> tuple:
+        """Hashable token identifying everything that shapes this engine's results.
+
+        Result caches (e.g. the process-wide normalization cache) key on this:
+        engines with equal signatures may share solve *results*.  The default
+        is per-instance (a monotonic token — never recycled, unlike ``id()``),
+        which is always safe; engines whose results are fully determined by
+        their parameters override it so equivalent instances share.
+        """
+        token = getattr(self, "_fidelity_token", None)
+        if token is None:
+            token = self._fidelity_token = next(_FIDELITY_TOKENS)
+        return (self.name, token)
+
     def solve_batch(
         self,
         grid: Grid,
@@ -251,6 +430,7 @@ class SolverEngine:
         eps_r: np.ndarray,
         rhs: np.ndarray,
         fingerprint: str | None = None,
+        x0: np.ndarray | None = None,
     ) -> np.ndarray:
         """Solve ``A(eps_r) x = b`` for a stack of right-hand sides.
 
@@ -266,6 +446,10 @@ class SolverEngine:
             Pre-computed :func:`eps_fingerprint` of ``eps_r``; computed on the
             fly when omitted.  Callers that mutate permittivities in place are
             responsible for passing an up-to-date fingerprint.
+        x0:
+            Optional stack of initial guesses (same shape as ``rhs``) for
+            engines with ``supports_warm_start``; exact engines ignore it.
+            Guesses influence convergence speed only, never the solution.
 
         Returns
         -------
@@ -301,6 +485,12 @@ class DirectEngine(SolverEngine):
     def __init__(self, cache: FactorizationCache | None = None):
         self.cache = cache if cache is not None else default_factorization_cache
 
+    @property
+    def fidelity_signature(self) -> tuple:
+        # Exact solves: results depend only on the operator, so every exact
+        # engine (direct or recycled) may share cached results.
+        return ("exact",)
+
     def factorize(
         self, grid: Grid, omega: float, eps_r: np.ndarray, fingerprint: str | None = None
     ) -> spla.SuperLU:
@@ -315,10 +505,12 @@ class DirectEngine(SolverEngine):
             tag="direct",
         )
 
-    def solve_batch(self, grid, omega, eps_r, rhs, fingerprint=None):
+    def solve_batch(self, grid, omega, eps_r, rhs, fingerprint=None, x0=None):
         eps_r, rhs = self._check_batch(grid, eps_r, rhs)
         lu = self.factorize(grid, omega, eps_r, fingerprint)
-        # One back-substitution on an (n_points, n_rhs) matrix.
+        # One back-substitution on an (n_points, n_rhs) matrix.  Exact solves
+        # have nothing to gain from an initial guess; x0 is accepted (and
+        # ignored) so call sites can thread warm starts engine-agnostically.
         solutions = lu.solve(rhs.reshape(rhs.shape[0], -1).T)
         return np.ascontiguousarray(solutions.T).reshape(rhs.shape)
 
@@ -333,6 +525,7 @@ class IterativeEngine(SolverEngine):
     """
 
     name = "iterative"
+    supports_warm_start = True
 
     def __init__(
         self,
@@ -352,6 +545,12 @@ class IterativeEngine(SolverEngine):
         self.fill_factor = float(fill_factor)
         self.cache = cache if cache is not None else default_factorization_cache
 
+    @property
+    def fidelity_signature(self) -> tuple:
+        # Approximate solves: results depend on the Krylov configuration, so
+        # only identically-configured iterative engines may share them.
+        return (self.name, self.method, self.rtol, self.maxiter)
+
     def _prepare(self, grid, omega, eps_r, fingerprint):
         if fingerprint is None:
             fingerprint = eps_fingerprint(eps_r)
@@ -363,14 +562,17 @@ class IterativeEngine(SolverEngine):
 
         return self.cache.get_or_build(grid, omega, fingerprint, build, tag="iterative")
 
-    def solve_batch(self, grid, omega, eps_r, rhs, fingerprint=None):
+    def solve_batch(self, grid, omega, eps_r, rhs, fingerprint=None, x0=None):
         eps_r, rhs = self._check_batch(grid, eps_r, rhs)
         matrix, ilu = self._prepare(grid, omega, eps_r, fingerprint)
         preconditioner = spla.LinearOperator(matrix.shape, ilu.solve, dtype=complex)
         krylov = spla.bicgstab if self.method == "bicgstab" else spla.gmres
         solutions = np.empty_like(rhs)
         for index, b in enumerate(rhs.reshape(rhs.shape[0], -1)):
-            x, info = krylov(matrix, b, rtol=self.rtol, maxiter=self.maxiter, M=preconditioner)
+            guess = None if x0 is None else np.asarray(x0[index], dtype=complex).ravel()
+            x, info = krylov(
+                matrix, b, x0=guess, rtol=self.rtol, maxiter=self.maxiter, M=preconditioner
+            )
             if info > 0:
                 raise RuntimeError(
                     f"{self.method} did not converge to rtol={self.rtol} within "
@@ -379,6 +581,324 @@ class IterativeEngine(SolverEngine):
             if info < 0:
                 raise RuntimeError(f"{self.method} failed with illegal input (info={info})")
             solutions[index] = x.reshape(grid.shape)
+        return solutions
+
+
+@dataclass
+class RecycleStats:
+    """What a :class:`RecycledEngine` actually did, for tests and benchmarks."""
+
+    factorizations: int = 0
+    exact_solves: int = 0
+    recycled_solves: int = 0
+    krylov_iterations: int = 0
+    fallbacks: int = 0
+
+
+class _RecycledReference:
+    """A frozen permittivity snapshot whose exact LU preconditions nearby solves."""
+
+    __slots__ = ("fingerprint", "eps", "eps_norm", "last_iterations")
+
+    def __init__(self, fingerprint: str, eps: np.ndarray):
+        self.fingerprint = fingerprint
+        self.eps = np.array(eps, copy=True)
+        self.eps_norm = float(np.linalg.norm(self.eps.ravel()))
+        self.last_iterations = 0.0
+
+
+class RecycledEngine(SolverEngine):
+    """Exact-LU-preconditioned Krylov solves recycled across nearby operators.
+
+    The optimization-loop tier.  Every Adam step of an inverse-design run
+    changes ``eps_r``, so content-keyed factorization caching never hits and
+    each iteration would pay a fresh SuperLU factorization.  But consecutive
+    operators differ only on the diagonal (``A(eps + d) = A(eps) +
+    omega^2 eps0 diag(d)``), which makes the *previous* factorization an
+    excellent preconditioner.  The default ``method="auto"`` solve chain is
+
+    1. diagonal-update iterative refinement (:meth:`_refine_solve`) — each
+       sweep is one back-substitution against the reference LU plus an
+       elementwise product (the diagonal structure of the perturbation makes
+       the residual recurrence matvec-free), vectorized over the RHS stack;
+    2. BiCGStab/GMRES preconditioned with the same reference LU when
+       refinement does not contract (each Krylov iteration costs matvecs and
+       back-substitutions, but converges for any drift the LU still roughly
+       preconditions);
+    3. refactorization when both fail — so results are always converged to
+       ``rtol`` relative residual, or exact.
+
+    Per ``(grid, omega)`` the engine keeps a small LRU of reference
+    permittivities (so e.g. the design operator and the constant normalization
+    waveguide recycle independently instead of thrashing one slot).  A solve
+
+    * whose fingerprint matches a reference exactly is a pure (exact)
+      back-substitution,
+    * whose nearest reference is within ``drift_threshold`` (relative L2
+      ``||eps - eps_ref|| / ||eps_ref||``) and whose last recycled solve
+      stayed under ``max_krylov`` inner iterations (refinement sweeps or
+      Krylov iterations, whichever ran — an inner iteration costs roughly one
+      back-substitution, so this is the knob trading per-solve iteration work
+      against refactorization frequency) is recycled,
+    * otherwise triggers a refactorization: the current permittivity becomes a
+      new reference and the batch is solved exactly against its fresh LU.
+
+    A recycled solve that fails to converge falls back to refactorization, so
+    results are always converged to ``rtol`` (or exact).  Warm starts
+    (``x0``, threaded from a :class:`SolveWorkspace`) cut the iteration count
+    further.  Reference LUs live in the shared :class:`FactorizationCache`
+    under the ``"recycled"`` tag, so ``Simulation.set_permittivity`` eviction
+    and cache-size limits apply to them like to any other factorization.
+    """
+
+    name = "recycled"
+    supports_warm_start = True
+
+    def __init__(
+        self,
+        method: str = "auto",
+        rtol: float = 1e-6,
+        maxiter: int = 200,
+        max_sweeps: int = 16,
+        drift_threshold: float = 0.1,
+        max_krylov: int = 6,
+        max_references: int = 4,
+        cache: FactorizationCache | None = None,
+    ):
+        if method not in ("auto", "bicgstab", "gmres"):
+            raise ValueError(
+                f"unknown method {method!r}; expected auto, bicgstab or gmres"
+            )
+        if max_references < 1:
+            raise ValueError(f"max_references must be at least 1, got {max_references}")
+        self.method = method
+        self.rtol = float(rtol)
+        self.maxiter = int(maxiter)
+        self.max_sweeps = int(max_sweeps)
+        self.drift_threshold = float(drift_threshold)
+        self.max_krylov = int(max_krylov)
+        self.max_references = int(max_references)
+        self.cache = cache if cache is not None else default_factorization_cache
+        self._references: dict[tuple, OrderedDict[str, _RecycledReference]] = {}
+        self._scratch: dict[tuple, sp.csr_matrix] = {}
+        self.stats = RecycleStats()
+
+    @property
+    def fidelity_signature(self) -> tuple:
+        # Recycled solves are exact on reference hits but rtol-converged in
+        # between; identically-configured recycled engines may share results.
+        return (self.name, self.method, self.rtol)
+
+    # -- reference bookkeeping --------------------------------------------------
+    def _lu(self, grid: Grid, omega: float, reference: _RecycledReference) -> spla.SuperLU:
+        """The reference LU, shared (and evictable) through the cache.
+
+        Counting factorizations here (not in :meth:`_refactorize`) keeps the
+        stats truthful when an evicted reference LU has to be rebuilt.
+        """
+
+        def build():
+            self.stats.factorizations += 1
+            return spla.splu(assemble_system_matrix(grid, omega, reference.eps).tocsc())
+
+        return self.cache.get_or_build(
+            grid, omega, reference.fingerprint, build, tag="recycled"
+        )
+
+    @staticmethod
+    def _nearest_reference(
+        references: OrderedDict[str, _RecycledReference], eps_r: np.ndarray
+    ) -> tuple[_RecycledReference | None, float]:
+        best, best_drift = None, float("inf")
+        flat = eps_r.ravel()
+        for reference in references.values():
+            drift = float(np.linalg.norm(flat - reference.eps.ravel()))
+            drift /= max(reference.eps_norm, 1e-300)
+            if drift < best_drift:
+                best, best_drift = reference, drift
+        return best, best_drift
+
+    def _system_matrix(self, grid: Grid, omega: float, eps_r: np.ndarray) -> sp.csr_matrix:
+        """The current operator, diagonal refreshed in place per solve."""
+        key = (grid, float(omega))
+        scratch = self._scratch.get(key)
+        if scratch is None:
+            self._scratch[key] = scratch = assemble_system_matrix(grid, omega, eps_r)
+            return scratch
+        return update_system_diagonal(scratch, grid, omega, eps_r)
+
+    @staticmethod
+    def _back_substitute(lu: spla.SuperLU, rhs: np.ndarray) -> np.ndarray:
+        solutions = lu.solve(rhs.reshape(rhs.shape[0], -1).T)
+        return np.ascontiguousarray(solutions.T).reshape(rhs.shape)
+
+    def _refactorize(
+        self,
+        references: OrderedDict[str, _RecycledReference],
+        grid: Grid,
+        omega: float,
+        eps_r: np.ndarray,
+        fingerprint: str,
+        rhs: np.ndarray,
+    ) -> np.ndarray:
+        reference = _RecycledReference(fingerprint, eps_r)
+        references[fingerprint] = reference
+        while len(references) > self.max_references:
+            stale_fp, _ = references.popitem(last=False)
+            self.cache.evict(grid, omega, stale_fp, tag="recycled")
+        return self._back_substitute(self._lu(grid, omega, reference), rhs)
+
+    def _refine_solve(
+        self,
+        grid: Grid,
+        omega: float,
+        eps_r: np.ndarray,
+        rhs: np.ndarray,
+        reference: _RecycledReference,
+        x0: np.ndarray | None,
+    ) -> tuple[np.ndarray | None, float]:
+        """Diagonal-update iterative refinement against the reference LU.
+
+        ``A = A_ref + diag(delta)`` with ``delta = omega^2 eps0 (eps - eps_ref)``,
+        so the stationary iteration ``x += A_ref^{-1} r`` has the residual
+        recurrence ``r_{k+1} = -delta * (A_ref^{-1} r_k)``: each sweep costs
+        one back-substitution plus an elementwise product — no matvec, no
+        Krylov bookkeeping — and the whole right-hand-side stack sweeps
+        together through one multi-RHS ``lu.solve``.  Converges linearly at
+        rate ``rho(A_ref^{-1} diag(delta))``; a non-contracting sweep or the
+        sweep cap reports failure (``(None, inf)``) so the caller can fall
+        back to Krylov or refactorize.  Solutions are converged to
+        ``||b - A x|| <= rtol * ||b||`` — same contract as the Krylov path.
+        """
+        lu = self._lu(grid, omega, reference)
+        delta = (
+            omega**2 * EPSILON_0 * (eps_r.ravel() - reference.eps.ravel())
+        ).astype(complex)
+        flat_rhs = rhs.reshape(rhs.shape[0], -1)
+        b_norms = np.linalg.norm(flat_rhs, axis=1)
+        tol = self.rtol * b_norms
+        if x0 is None:
+            x = np.zeros_like(flat_rhs)
+            residual = flat_rhs.copy()
+        else:
+            x = np.asarray(x0, dtype=complex).reshape(flat_rhs.shape).copy()
+            matrix = self._system_matrix(grid, omega, eps_r)
+            residual = flat_rhs - (matrix @ x.T).T
+        residual_norms = np.linalg.norm(residual, axis=1)
+        sweeps = 0
+        back_substitutions = 0
+        while True:
+            active = residual_norms > tol
+            if not active.any():
+                break
+            if sweeps >= self.max_sweeps:
+                return None, float("inf")
+            correction = lu.solve(residual[active].T).T
+            back_substitutions += int(active.sum())
+            x[active] += correction
+            new_residual = -delta[None, :] * correction
+            new_norms = np.linalg.norm(new_residual, axis=1)
+            if np.any(new_norms >= residual_norms[active]):
+                # Not contracting: the reference no longer preconditions this
+                # operator.  Report failure so the caller can escalate.
+                return None, float("inf")
+            residual[active] = new_residual
+            residual_norms[active] = new_norms
+            sweeps += 1
+        self.stats.krylov_iterations += back_substitutions
+        return x.reshape(rhs.shape), float(sweeps)
+
+    def _krylov_solve(
+        self,
+        grid: Grid,
+        omega: float,
+        eps_r: np.ndarray,
+        rhs: np.ndarray,
+        reference: _RecycledReference,
+        x0: np.ndarray | None,
+    ) -> tuple[np.ndarray | None, float]:
+        """LU-preconditioned BiCGStab/GMRES; ``(None, inf)`` on non-convergence."""
+        matrix = self._system_matrix(grid, omega, eps_r)
+        lu = self._lu(grid, omega, reference)
+        preconditioner = spla.LinearOperator(matrix.shape, lu.solve, dtype=complex)
+        method = "gmres" if self.method == "gmres" else "bicgstab"
+        solutions = np.empty_like(rhs)
+        worst = 0
+        for index, b in enumerate(rhs.reshape(rhs.shape[0], -1)):
+            iterations = [0]
+
+            def callback(_):
+                iterations[0] += 1
+
+            guess = None if x0 is None else np.asarray(x0[index], dtype=complex).ravel()
+            if method == "bicgstab":
+                x, info = spla.bicgstab(
+                    matrix, b, x0=guess, rtol=self.rtol, maxiter=self.maxiter,
+                    M=preconditioner, callback=callback,
+                )
+            else:
+                x, info = spla.gmres(
+                    matrix, b, x0=guess, rtol=self.rtol, maxiter=self.maxiter,
+                    M=preconditioner, callback=callback, callback_type="pr_norm",
+                )
+            if info != 0:
+                return None, float("inf")
+            solutions[index] = x.reshape(grid.shape)
+            self.stats.krylov_iterations += iterations[0]
+            worst = max(worst, iterations[0])
+        return solutions, float(worst)
+
+    def _recycled_solve(
+        self,
+        grid: Grid,
+        omega: float,
+        eps_r: np.ndarray,
+        rhs: np.ndarray,
+        reference: _RecycledReference,
+        x0: np.ndarray | None,
+    ) -> tuple[np.ndarray | None, float]:
+        """The recycled path: cheap refinement first, Krylov as the fallback."""
+        if self.method == "auto":
+            solutions, iterations = self._refine_solve(
+                grid, omega, eps_r, rhs, reference, x0
+            )
+            if solutions is not None:
+                return solutions, iterations
+        return self._krylov_solve(grid, omega, eps_r, rhs, reference, x0)
+
+    # -- the solve ---------------------------------------------------------------
+    def solve_batch(self, grid, omega, eps_r, rhs, fingerprint=None, x0=None):
+        eps_r, rhs = self._check_batch(grid, eps_r, rhs)
+        if fingerprint is None:
+            fingerprint = eps_fingerprint(eps_r)
+        references = self._references.setdefault((grid, float(omega)), OrderedDict())
+
+        reference = references.get(fingerprint)
+        if reference is not None:
+            # Exact fingerprint match (e.g. the unchanged normalization
+            # waveguide): a pure back-substitution, exact like DirectEngine.
+            references.move_to_end(fingerprint)
+            self.stats.exact_solves += 1
+            return self._back_substitute(self._lu(grid, omega, reference), rhs)
+
+        reference, drift = self._nearest_reference(references, eps_r)
+        if (
+            reference is None
+            or drift > self.drift_threshold
+            or reference.last_iterations > self.max_krylov
+        ):
+            return self._refactorize(references, grid, omega, eps_r, fingerprint, rhs)
+
+        solutions, iterations = self._recycled_solve(grid, omega, eps_r, rhs, reference, x0)
+        if solutions is None:
+            # Neither refinement nor Krylov converged: the reference no longer
+            # preconditions well.  Refactorize at the current permittivity —
+            # the result stays exact.
+            self.stats.fallbacks += 1
+            reference.last_iterations = float("inf")
+            return self._refactorize(references, grid, omega, eps_r, fingerprint, rhs)
+        reference.last_iterations = iterations
+        self.stats.recycled_solves += 1
         return solutions
 
 
@@ -398,14 +918,22 @@ class CountingEngine(SolverEngine):
         self.solve_log: list[tuple[str, int]] = []
         self.factorizations: dict[str, int] = {}
 
-    def solve_batch(self, grid, omega, eps_r, rhs, fingerprint=None):
+    @property
+    def supports_warm_start(self) -> bool:
+        return self.inner.supports_warm_start
+
+    @property
+    def fidelity_signature(self) -> tuple:
+        return ("counting", *self.inner.fidelity_signature)
+
+    def solve_batch(self, grid, omega, eps_r, rhs, fingerprint=None, x0=None):
         if fingerprint is None:
             fingerprint = eps_fingerprint(eps_r)
         rhs = np.asarray(rhs, dtype=complex)
         self.solve_log.append((fingerprint, rhs.shape[0]))
         cache = getattr(self.inner, "cache", None)
         misses_before = cache.stats.misses if cache is not None else 0
-        result = self.inner.solve_batch(grid, omega, eps_r, rhs, fingerprint=fingerprint)
+        result = self.inner.solve_batch(grid, omega, eps_r, rhs, fingerprint=fingerprint, x0=x0)
         if cache is not None and cache.stats.misses > misses_before:
             self.factorizations[fingerprint] = self.factorizations.get(fingerprint, 0) + 1
         return result
@@ -432,7 +960,8 @@ def make_engine(name: str, **kwargs) -> SolverEngine:
 
     ``"direct"``/``"high"`` build the exact :class:`DirectEngine`,
     ``"iterative"``/``"low"``/``"bicgstab"``/``"gmres"`` the approximate
-    :class:`IterativeEngine`, and ``"neural"`` the surrogate engine (requires
+    :class:`IterativeEngine`, ``"recycled"`` the optimization-loop
+    :class:`RecycledEngine`, and ``"neural"`` the surrogate engine (requires
     ``model=...``; registered when :mod:`repro.surrogate` is imported).
     """
     key = name.lower().strip()
@@ -468,3 +997,4 @@ register_engine("iterative", IterativeEngine)
 register_engine("low", IterativeEngine)
 register_engine("bicgstab", lambda **kw: IterativeEngine(method="bicgstab", **kw))
 register_engine("gmres", lambda **kw: IterativeEngine(method="gmres", **kw))
+register_engine("recycled", RecycledEngine)

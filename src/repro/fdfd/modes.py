@@ -14,6 +14,7 @@ first), which is how the multi-mode devices (MDM) address higher-order modes.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -108,6 +109,33 @@ def _guided_modes(
     return modes
 
 
+# Process-wide cache of solved mode lines.  Port cross-sections are tiny and
+# rarely change (an optimization loop re-solves the *same* lines every
+# iteration: the design region does not touch the ports), so modes are cached
+# by cross-section content.  A solve that asked for at least as many modes —
+# or that found every guided mode the line supports — serves smaller requests,
+# mirroring the per-Simulation mode cache.
+_MODE_CACHE: "OrderedDict[tuple, tuple[int, list[ModeProfile]]]" = OrderedDict()
+_MODE_CACHE_MAX = 512
+
+
+def _cached_modes(key: tuple, num_modes: int) -> list[ModeProfile] | None:
+    entry = _MODE_CACHE.get(key)
+    if entry is None:
+        return None
+    solved_for, modes = entry
+    if solved_for >= num_modes or len(modes) < solved_for:
+        _MODE_CACHE.move_to_end(key)
+        return modes[:num_modes]
+    return None
+
+
+def _store_modes(key: tuple, num_modes: int, modes: list[ModeProfile]) -> None:
+    while len(_MODE_CACHE) >= _MODE_CACHE_MAX:
+        _MODE_CACHE.popitem(last=False)
+    _MODE_CACHE[key] = (num_modes, modes)
+
+
 def solve_slab_modes(
     eps_line: np.ndarray,
     dl_um: float,
@@ -168,18 +196,27 @@ def solve_slab_modes_batch(
     dl_m = dl_um * 1e-6
     k0 = omega / C_0  # rad/m
 
+    results: list[list[ModeProfile] | None] = [None] * len(lines)
+    keys: list[tuple] = []
+    for index, line in enumerate(lines):
+        key = (line.tobytes(), line.size, float(dl_um), float(omega))
+        keys.append(key)
+        results[index] = _cached_modes(key, num_modes)
+
     by_length: dict[int, list[int]] = {}
     for index, line in enumerate(lines):
-        by_length.setdefault(line.size, []).append(index)
+        if results[index] is None:
+            by_length.setdefault(line.size, []).append(index)
 
-    results: list[list[ModeProfile] | None] = [None] * len(lines)
     for indices in by_length.values():
         stack = np.stack([_slab_operator(lines[i], dl_m, k0) for i in indices], axis=0)
         eigvals, eigvecs = np.linalg.eigh(stack)
         for position, index in enumerate(indices):
-            results[index] = _guided_modes(
+            modes = _guided_modes(
                 eigvals[position], eigvecs[position], lines[index], dl_um, k0, num_modes
             )
+            _store_modes(keys[index], num_modes, modes)
+            results[index] = modes
     return results
 
 

@@ -16,16 +16,40 @@ back-substitutions rather than fresh factorizations.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.constants import wavelength_to_omega
-from repro.fdfd.engine import SolverEngine, eps_fingerprint
+from repro.fdfd.engine import SolverEngine, SolveWorkspace, eps_fingerprint
 from repro.fdfd.grid import Grid
 from repro.fdfd.modes import ModeProfile, mode_source_amplitude, solve_slab_modes_batch
 from repro.fdfd.monitors import Port, mode_overlap, poynting_flux_through_port
 from repro.fdfd.solver import FdfdSolver, FieldSolution
+
+
+# Process-wide cache of normalization results.  The normalization structure is
+# fully determined by the source-port cross-section (plus port geometry, grid
+# and frequency) — not by the design — so every iteration of an optimization
+# loop, and every Simulation instance of the same device family, recomputes a
+# byte-identical (flux, overlap) pair.  Keying on the cross-section content
+# lets them all share one computation.  Bounded LRU; entries are tiny floats.
+_NORMALIZATION_CACHE: OrderedDict[tuple, tuple[float, complex]] = OrderedDict()
+_NORMALIZATION_CACHE_MAX = 256
+
+
+def _normalization_cache_get(key: tuple) -> tuple[float, complex] | None:
+    entry = _NORMALIZATION_CACHE.get(key)
+    if entry is not None:
+        _NORMALIZATION_CACHE.move_to_end(key)
+    return entry
+
+
+def _normalization_cache_put(key: tuple, value: tuple[float, complex]) -> None:
+    while len(_NORMALIZATION_CACHE) >= _NORMALIZATION_CACHE_MAX:
+        _NORMALIZATION_CACHE.popitem(last=False)
+    _NORMALIZATION_CACHE[key] = value
 
 
 @dataclass
@@ -161,13 +185,16 @@ class Simulation:
         self._eps_fingerprint = eps_fingerprint(eps_r)
         self._norm_cache.clear()
         self._mode_cache.clear()
-        # Evict only the superseded design operator.  Normalization
-        # factorizations solved through the same solver are left to LRU aging:
-        # they are keyed by content, other simulations of the same device may
-        # share them, and they stay correct regardless of this design change.
+        # Evict only the superseded design operator — but *every* engine tag
+        # of it (tag=None): a direct LU, an iterative ILU and a recycled
+        # preconditioner of the old permittivity are all equally superseded,
+        # and must not squat in the LRU.  Normalization factorizations solved
+        # through the same solver are left to LRU aging: they are keyed by
+        # content, other simulations of the same device may share them, and
+        # they stay correct regardless of this design change.
         cache = getattr(self.solver.engine, "cache", None)
         if cache is not None:
-            cache.evict(self.grid, self.omega, old_fingerprint)
+            cache.evict(self.grid, self.omega, old_fingerprint, tag=None)
         self.solver._solved_fingerprints.discard(old_fingerprint)
 
     # -- sources ----------------------------------------------------------------------
@@ -258,7 +285,10 @@ class Simulation:
         domain — i.e. the waveguide feeding the port, continued straight.  The
         solve goes through the shared engine, so identical normalization runs
         (same feeding waveguide, any number of simulations) hit the process-wide
-        factorization cache instead of re-factorizing.
+        factorization cache instead of re-factorizing.  The *result* is cached
+        process-wide too, keyed by the cross-section content: optimization
+        loops (whose design never touches the port lines) and sibling
+        Simulation instances skip the normalization solve entirely.
         """
         key = (port_name, mode_index)
         if key in self._norm_cache:
@@ -266,6 +296,25 @@ class Simulation:
 
         port = self._port(port_name)
         eps_line = port.eps_line(self.eps_r, self.grid)
+        shared_key = (
+            self.grid,
+            self.omega,
+            # Results are engine-fidelity-specific: a surrogate's normalization
+            # must never leak into an exact simulation, nor one model's into
+            # another's.  The signature encodes everything result-relevant.
+            self.solver.engine.fidelity_signature,
+            port.normal_axis,
+            port.position,
+            port.center,
+            port.span,
+            port.direction,
+            mode_index,
+            eps_line.tobytes(),
+        )
+        shared = _normalization_cache_get(shared_key)
+        if shared is not None:
+            self._norm_cache[key] = shared
+            return shared
         if port.normal_axis == "x":
             eps_norm = np.full(self.grid.shape, float(eps_line.min()))
             index = port.indices(self.grid)[1]
@@ -307,6 +356,7 @@ class Simulation:
         overlap = mode_overlap(solution.ez, monitor, monitor_modes[mode_index], self.grid)
         result = (abs(float(flux)), overlap)
         self._norm_cache[key] = result
+        _normalization_cache_put(shared_key, result)
         return result
 
     # -- forward solves ----------------------------------------------------------------------
@@ -342,7 +392,10 @@ class Simulation:
         return self.solve_multi([excitation])[0]
 
     def solve_multi(
-        self, excitations: list[ExcitationSpec | tuple]
+        self,
+        excitations: list[ExcitationSpec | tuple],
+        workspace: "SolveWorkspace | None" = None,
+        guess_keys: list | None = None,
     ) -> list[SimulationResult]:
         """Solve many excitations of the same device in one batched call.
 
@@ -350,6 +403,14 @@ class Simulation:
         cache); every excitation costs one back-substitution.  Excitations may
         be :class:`ExcitationSpec` instances or ``(source_port, mode_index)``
         tuples.
+
+        With a ``workspace`` (:class:`~repro.fdfd.engine.SolveWorkspace`),
+        previously stored fields become Krylov initial guesses and the new
+        fields are stored back — the warm-start loop of iterative/recycled
+        engines.  ``guess_keys`` (one hashable per excitation) defaults to
+        ``(source_port, mode_index, wavelength)``; callers sharing one
+        workspace across device states or corner variants must pass keys that
+        disambiguate them.
 
         Returns the :class:`SimulationResult` per excitation, in order.
         """
@@ -396,7 +457,25 @@ class Simulation:
                     )
                 sources.append(source)
 
-        solutions = self.solver.solve_batch(self.eps_r, sources, fingerprint=fingerprint)
+        x0 = None
+        keys = None
+        if workspace is not None:
+            keys = guess_keys
+            if keys is None:
+                keys = [(spec.source_port, spec.mode_index, self.wavelength) for spec in specs]
+            if len(keys) != len(specs):
+                raise ValueError(
+                    f"guess_keys length {len(keys)} does not match "
+                    f"{len(specs)} excitations"
+                )
+            x0 = workspace.guess_stack(keys, self.grid.shape)
+
+        solutions = self.solver.solve_batch(
+            self.eps_r, sources, fingerprint=fingerprint, x0=x0
+        )
+        if workspace is not None:
+            for key, solution in zip(keys, solutions):
+                workspace.store(key, solution.ez)
         return [
             self._measure(spec, source, solution)
             for spec, source, solution in zip(specs, sources, solutions)

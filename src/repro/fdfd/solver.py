@@ -98,13 +98,17 @@ class FdfdSolver:
         self._solved_fingerprints.clear()
 
     def _solve_stack(
-        self, eps_r: np.ndarray, rhs: np.ndarray, fingerprint: str | None
+        self,
+        eps_r: np.ndarray,
+        rhs: np.ndarray,
+        fingerprint: str | None,
+        x0: np.ndarray | None = None,
     ) -> np.ndarray:
         if fingerprint is None:
             fingerprint = eps_fingerprint(eps_r)
         self._solved_fingerprints.add(fingerprint)
         return self.engine.solve_batch(
-            self.grid, self.omega, eps_r, rhs, fingerprint=fingerprint
+            self.grid, self.omega, eps_r, rhs, fingerprint=fingerprint, x0=x0
         )
 
     # -- solves ---------------------------------------------------------------------
@@ -134,11 +138,15 @@ class FdfdSolver:
         eps_r: np.ndarray,
         sources: list[np.ndarray] | np.ndarray,
         fingerprint: str | None = None,
+        x0: np.ndarray | None = None,
     ) -> list[FieldSolution]:
         """Solve one operator against many current sources at once.
 
         The permittivity is factorized (or fetched from the shared cache)
-        exactly once; every source costs only a back-substitution.
+        exactly once; every source costs only a back-substitution.  ``x0`` is
+        an optional stack of ``Ez`` initial guesses (previous-iteration fields
+        from a :class:`~repro.fdfd.engine.SolveWorkspace`) for warm-startable
+        engines; exact engines ignore it.
         """
         eps_r = self._check_eps(eps_r)
         stack = np.stack([np.asarray(s, dtype=complex) for s in sources], axis=0)
@@ -147,7 +155,7 @@ class FdfdSolver:
                 f"source shape {stack.shape[1:]} does not match grid {self.grid.shape}"
             )
         rhs = 1j * self.omega * stack
-        ez_stack = self._solve_stack(eps_r, rhs, fingerprint)
+        ez_stack = self._solve_stack(eps_r, rhs, fingerprint, x0=x0)
         solutions = []
         for ez in ez_stack:
             hx, hy = self.e_to_h(ez)
@@ -170,8 +178,13 @@ class FdfdSolver:
         eps_r: np.ndarray,
         adjoint_sources: list[np.ndarray] | np.ndarray,
         fingerprint: str | None = None,
+        x0: np.ndarray | None = None,
     ) -> list[np.ndarray]:
-        """Batched adjoint solves against one (cached) factorization."""
+        """Batched adjoint solves against one (cached) factorization.
+
+        ``x0`` optionally stacks previous adjoint fields as warm starts for
+        Krylov engines (ignored by exact engines).
+        """
         eps_r = self._check_eps(eps_r)
         stack = np.stack([np.asarray(s, dtype=complex) for s in adjoint_sources], axis=0)
         if stack.shape[1:] != self.grid.shape:
@@ -179,7 +192,7 @@ class FdfdSolver:
                 f"adjoint source shape {stack.shape[1:]} does not match grid "
                 f"{self.grid.shape}"
             )
-        lam_stack = self._solve_stack(eps_r, stack, fingerprint)
+        lam_stack = self._solve_stack(eps_r, stack, fingerprint, x0=x0)
         return list(lam_stack)
 
     # -- derived fields ---------------------------------------------------------------

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.devices.base import Device, TargetSpec
-from repro.fdfd.engine import SolverEngine
+from repro.fdfd.engine import SolverEngine, SolveWorkspace, resolve_engine
 from repro.fdfd.simulation import ExcitationSpec, Simulation, SimulationResult
 from repro.invdes.objectives import CompositeObjective, objective_for_spec
 
@@ -71,11 +71,49 @@ class NumericalFieldBackend(FieldBackend):
     engine:
         Solver engine or engine name forwarded to every
         :class:`~repro.fdfd.simulation.Simulation` this backend evaluates;
-        None selects the exact direct engine.
+        None selects the exact direct engine.  Registry names are resolved
+        once at construction so stateful engines (the recycled tier's
+        reference factorizations, iteration counters) persist across the
+        Simulations built per optimizer iteration instead of being recreated
+        with each one.
+    workspace:
+        Optional :class:`~repro.fdfd.engine.SolveWorkspace` threading
+        previous-iteration forward and adjoint fields into the next solve as
+        Krylov initial guesses, keyed by ``(spec, wavelength, device state)``.
+        Only consulted when the engine advertises ``supports_warm_start``.
     """
 
-    def __init__(self, engine: SolverEngine | str | None = None):
-        self.engine = engine
+    def __init__(
+        self,
+        engine: SolverEngine | str | None = None,
+        workspace: SolveWorkspace | None = None,
+    ):
+        self.engine = resolve_engine(engine) if isinstance(engine, str) else engine
+        self.workspace = workspace
+
+    # -- warm-start plumbing -----------------------------------------------------
+    def _active_workspace(self, sim: Simulation) -> SolveWorkspace | None:
+        """The workspace, when the simulation's engine can profit from it."""
+        if self.workspace is None:
+            return None
+        if not getattr(sim.engine, "supports_warm_start", False):
+            return None
+        return self.workspace
+
+    @staticmethod
+    def _spec_key(kind: str, sim: Simulation, spec: TargetSpec) -> tuple:
+        """Workspace key: one slot per (solve kind, spec, wavelength, state).
+
+        ``sim.wavelength`` (not ``spec.wavelength``) so corner variants with a
+        wavelength shift do not collide with the nominal run.
+        """
+        return (
+            kind,
+            spec.source_port,
+            spec.source_mode,
+            sim.wavelength,
+            tuple(sorted(spec.state.items())),
+        )
 
     def forward_fields(self, sim: Simulation, spec: TargetSpec) -> SimulationResult:
         return sim.solve(
@@ -102,14 +140,28 @@ class NumericalFieldBackend(FieldBackend):
             )
             for spec in specs
         ]
-        return sim.solve_multi(excitations)
+        workspace = self._active_workspace(sim)
+        guess_keys = None
+        if workspace is not None:
+            guess_keys = [self._spec_key("forward", sim, spec) for spec in specs]
+        return sim.solve_multi(excitations, workspace=workspace, guess_keys=guess_keys)
 
     def adjoint_fields(
         self, sim: Simulation, specs: list[TargetSpec], adjoint_sources: list[np.ndarray]
     ) -> list[np.ndarray]:
-        return sim.solver.solve_adjoint_batch(
-            sim.eps_r, adjoint_sources, fingerprint=sim._current_fingerprint()
+        workspace = self._active_workspace(sim)
+        x0 = None
+        keys = None
+        if workspace is not None:
+            keys = [self._spec_key("adjoint", sim, spec) for spec in specs]
+            x0 = workspace.guess_stack(keys, sim.grid.shape)
+        lams = sim.solver.solve_adjoint_batch(
+            sim.eps_r, adjoint_sources, fingerprint=sim._current_fingerprint(), x0=x0
         )
+        if workspace is not None:
+            for key, lam in zip(keys, lams):
+                workspace.store(key, lam)
+        return lams
 
 
 @dataclass

@@ -117,6 +117,12 @@ class AdjointOptimizer:
             if theta0 is not None
             else self.problem.initial_theta()
         )
+        # Fresh run: previous-run fields are stale warm starts.  One workspace
+        # is then reused across all iterations of this run, so consecutive
+        # evaluations seed each other's Krylov solves.
+        reset_workspace = getattr(self.problem, "reset_workspace", None)
+        if reset_workspace is not None:
+            reset_workspace()
         first_moment = np.zeros_like(theta)
         second_moment = np.zeros_like(theta)
         beta1, beta2 = self.adam_betas

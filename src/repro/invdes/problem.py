@@ -22,7 +22,13 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.devices.base import Device
-from repro.invdes.adjoint import FieldBackend, SpecEvaluation, evaluate_all_specs
+from repro.fdfd.engine import SolveWorkspace
+from repro.invdes.adjoint import (
+    FieldBackend,
+    NumericalFieldBackend,
+    SpecEvaluation,
+    evaluate_all_specs,
+)
 from repro.parametrization.parametrization import DensityParametrization
 from repro.parametrization.transforms import (
     BinarizationProjection,
@@ -60,9 +66,18 @@ class InverseDesignProblem:
         Field backend (numerical FDFD by default; a neural surrogate backend
         can be plugged in for AI-driven design).
     engine:
-        Solver engine or engine name (``"direct"``, ``"iterative"``, ...)
-        for the default numerical backend — the one-line fidelity swap.
-        Ignored when an explicit ``backend`` is given.
+        Solver engine or engine name (``"direct"``, ``"iterative"``,
+        ``"recycled"``, ...) for the default numerical backend — the one-line
+        fidelity swap.  ``engine="recycled"`` is the optimization-loop tier:
+        consecutive iterations recycle the previous factorization as a Krylov
+        preconditioner instead of refactorizing.  Ignored when an explicit
+        ``backend`` is given.
+    workspace:
+        Optional :class:`~repro.fdfd.engine.SolveWorkspace`.  By default the
+        problem creates one and shares it with the backend, so warm-startable
+        engines seed every solve with the previous iteration's fields.  If the
+        given backend already carries a workspace (e.g. corner problems built
+        around a shared nominal backend), that one is adopted instead.
     eps_postprocess, wavelength_shift:
         Hooks used by the variation-aware wrapper to simulate corners.
     """
@@ -74,13 +89,23 @@ class InverseDesignProblem:
         transforms: TransformPipeline | None = None,
         backend: FieldBackend | None = None,
         engine=None,
+        workspace: SolveWorkspace | None = None,
         eps_postprocess=None,
         wavelength_shift: float = 0.0,
     ):
-        if backend is None and engine is not None:
-            from repro.invdes.adjoint import NumericalFieldBackend
-
-            backend = NumericalFieldBackend(engine=engine)
+        explicit_workspace = workspace is not None
+        self.workspace = workspace if explicit_workspace else SolveWorkspace()
+        if backend is None:
+            backend = NumericalFieldBackend(engine=engine, workspace=self.workspace)
+        elif hasattr(backend, "workspace"):
+            if not explicit_workspace and backend.workspace is not None:
+                # The backend (shared with another problem) already threads a
+                # workspace; adopt it so beta-schedule invalidation reaches it.
+                self.workspace = backend.workspace
+            else:
+                # Attach ours — an explicitly passed workspace always wins, so
+                # the caller's handle is the one the solves actually use.
+                backend.workspace = self.workspace
         self.device = device
         self.parametrization = parametrization or DensityParametrization(device.design_shape)
         if transforms is None:
@@ -109,10 +134,26 @@ class InverseDesignProblem:
         return self.transforms(self.parametrization(theta))
 
     def set_binarization_beta(self, beta: float) -> None:
-        """Update the sharpness of every binarization stage (beta schedule)."""
+        """Update the sharpness of every binarization stage (beta schedule).
+
+        A beta step moves the projected density (and hence the operator and
+        its fields) discontinuously, so the warm-start workspace is
+        invalidated: the stored previous-iteration fields would be poor
+        initial guesses for the post-step solves.
+        """
+        changed = False
         for index, transform in enumerate(self.transforms):
             if isinstance(transform, BinarizationProjection):
+                if transform.beta != float(beta):
+                    changed = True
                 self.transforms.replace(index, transform.with_beta(beta))
+        if changed and self.workspace is not None:
+            self.workspace.invalidate()
+
+    def reset_workspace(self) -> None:
+        """Drop warm-start state (called by the optimizer at the start of a run)."""
+        if self.workspace is not None:
+            self.workspace.invalidate()
 
     # -- evaluation ------------------------------------------------------------------------
     def evaluate(self, theta: np.ndarray, compute_gradient: bool = True) -> ProblemEvaluation:

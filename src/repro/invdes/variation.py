@@ -42,11 +42,22 @@ class RobustInverseDesignProblem:
         transforms = TransformPipeline(
             list(base.transforms) + list(corner.pattern_transforms)
         )
+        backend = base.backend
+        # Corners share the base backend's *engine* (factorizations and
+        # recycling references are reusable physics) but must not share its
+        # warm-start workspace: every corner simulates a different
+        # permittivity under the same spec keys, and mixed-corner fields make
+        # worse-than-cold initial guesses.  Rebuild the backend with a
+        # per-corner workspace when possible.
+        from repro.invdes.adjoint import NumericalFieldBackend
+
+        if isinstance(backend, NumericalFieldBackend):
+            backend = NumericalFieldBackend(engine=backend.engine)
         return InverseDesignProblem(
             device=base.device,
             parametrization=base.parametrization,
             transforms=transforms,
-            backend=base.backend,
+            backend=backend,
             eps_postprocess=corner.temperature_drift.apply_eps
             if corner.temperature_drift.delta_kelvin
             else None,
@@ -65,6 +76,12 @@ class RobustInverseDesignProblem:
         for problem in self._corner_problems:
             problem.set_binarization_beta(beta)
         self.base_problem.set_binarization_beta(beta)
+
+    def reset_workspace(self) -> None:
+        """Drop warm-start state of every corner problem (and the nominal one)."""
+        for problem in self._corner_problems:
+            problem.reset_workspace()
+        self.base_problem.reset_workspace()
 
     def corner_foms(self, theta: np.ndarray) -> dict[str, float]:
         """Figure of merit of every corner (no gradients)."""

@@ -85,12 +85,18 @@ class Trainer:
         self.schedule = CosineSchedule(self.optimizer, total_epochs=max(epochs, 1))
         self.rng = get_rng(seed)
         self.history = TrainingHistory()
+        # Scalar targets are precomputed once: rebuilding the transmission
+        # array from per-sample attribute access per batch per epoch is pure
+        # overhead (the labels never change during training).
+        self._transmission_targets = (
+            train_set.transmission_array() if target == "transmission" else None
+        )
 
     # -- batching helpers -----------------------------------------------------------
     def _batch_targets(self, indices: np.ndarray) -> np.ndarray:
         if self.target == "field":
             return np.stack([self.train_set[i].target for i in indices], axis=0)
-        return np.array([self.train_set[i].transmission for i in indices])
+        return self._transmission_targets[indices]
 
     # -- training -------------------------------------------------------------------
     def train(self, verbose: bool = False) -> TrainingHistory:
@@ -102,9 +108,7 @@ class Trainer:
                 self.batch_size, shuffle=True, rng=self.rng
             ):
                 if self.target == "transmission":
-                    targets = np.array(
-                        [self.train_set[i].transmission for i in indices]
-                    )
+                    targets = self._transmission_targets[indices]
                 prediction = self.model(Tensor(inputs))
                 loss = self.loss(prediction, Tensor(targets))
                 self.optimizer.zero_grad()

@@ -470,3 +470,358 @@ class TestLabelBatching:
                 label.adjoint_gradient, single.adjoint_gradient, rtol=1e-8, atol=1e-20
             )
             assert label.figure_of_merit == pytest.approx(single.figure_of_merit, rel=1e-10)
+
+
+# --------------------------------------------------------------------------- #
+# incremental operator assembly
+# --------------------------------------------------------------------------- #
+class TestIncrementalAssembly:
+    """assemble_system_matrix's template path vs from-scratch sparse summation."""
+
+    @staticmethod
+    def _from_scratch(grid, omega, eps):
+        import scipy.sparse as sp
+
+        from repro.fdfd.engine import operators
+
+        diagonal = omega**2 * constants.EPSILON_0 * np.asarray(eps).ravel()
+        matrix = (operators(grid, omega)["curl_curl"] + sp.diags(diagonal)).tocsr()
+        matrix.sort_indices()
+        return matrix
+
+    def test_bit_identical_to_from_scratch(self):
+        from repro.fdfd.engine import assemble_system_matrix
+
+        grid, eps, _ = _straight_waveguide()
+        for scale in (1.0, 0.37, 2.5):
+            incremental = assemble_system_matrix(grid, OMEGA, eps * scale)
+            scratch = self._from_scratch(grid, OMEGA, eps * scale)
+            assert np.array_equal(incremental.indptr, scratch.indptr)
+            assert np.array_equal(incremental.indices, scratch.indices)
+            assert np.array_equal(incremental.data, scratch.data)
+
+    def test_repeated_assembly_is_independent(self):
+        """Each call owns its data: assembling eps2 must not corrupt eps1's matrix."""
+        from repro.fdfd.engine import assemble_system_matrix
+
+        grid, eps, _ = _straight_waveguide()
+        first = assemble_system_matrix(grid, OMEGA, eps)
+        reference = first.data.copy()
+        assemble_system_matrix(grid, OMEGA, eps + 1.5)
+        assert np.array_equal(first.data, reference)
+
+    def test_update_system_diagonal_in_place(self):
+        from repro.fdfd.engine import assemble_system_matrix, update_system_diagonal
+
+        grid, eps, _ = _straight_waveguide()
+        matrix = assemble_system_matrix(grid, OMEGA, eps)
+        updated = update_system_diagonal(matrix, grid, OMEGA, eps + 0.25)
+        assert updated is matrix
+        scratch = self._from_scratch(grid, OMEGA, eps + 0.25)
+        assert np.array_equal(matrix.data, scratch.data)
+
+    def test_shape_validation(self):
+        from repro.fdfd.engine import assemble_system_matrix, update_system_diagonal
+
+        grid, eps, _ = _straight_waveguide()
+        with pytest.raises(ValueError):
+            assemble_system_matrix(grid, OMEGA, eps[:-1])
+        matrix = assemble_system_matrix(grid, OMEGA, eps)
+        with pytest.raises(ValueError):
+            update_system_diagonal(matrix, grid, OMEGA, eps[:, :-1])
+
+
+# --------------------------------------------------------------------------- #
+# operator cache LRU behaviour
+# --------------------------------------------------------------------------- #
+class TestOperatorCacheLRU:
+    def setup_method(self):
+        from repro.fdfd import engine
+
+        self._saved = dict(engine._OPERATOR_CACHE)
+        engine._OPERATOR_CACHE.clear()
+
+    def teardown_method(self):
+        from repro.fdfd import engine
+
+        engine._OPERATOR_CACHE.clear()
+        engine._OPERATOR_CACHE.update(self._saved)
+
+    @staticmethod
+    def _grids(count):
+        return [Grid(nx=12 + i, ny=12, dl=0.1, npml=3) for i in range(count)]
+
+    def test_env_override_controls_size(self, monkeypatch):
+        from repro.fdfd import engine
+
+        monkeypatch.setenv("REPRO_OPERATOR_CACHE_SIZE", "2")
+        for grid in self._grids(4):
+            engine.operators(grid, OMEGA)
+        assert len(engine._OPERATOR_CACHE) == 2
+
+    def test_touch_on_hit_protects_hot_grid(self, monkeypatch):
+        """A re-used grid survives eviction pressure from cold grids."""
+        from repro.fdfd import engine
+
+        monkeypatch.setenv("REPRO_OPERATOR_CACHE_SIZE", "2")
+        hot, cold_a, cold_b = self._grids(3)
+        engine.operators(hot, OMEGA)
+        engine.operators(cold_a, OMEGA)
+        engine.operators(hot, OMEGA)  # touch: hot becomes most recent
+        engine.operators(cold_b, OMEGA)  # evicts cold_a, not hot
+        keys = list(engine._OPERATOR_CACHE)
+        assert (hot, float(OMEGA)) in keys
+        assert (cold_a, float(OMEGA)) not in keys
+
+    def test_min_size_is_one(self, monkeypatch):
+        from repro.fdfd import engine
+
+        monkeypatch.setenv("REPRO_OPERATOR_CACHE_SIZE", "0")
+        grid = self._grids(1)[0]
+        entry = engine.operators(grid, OMEGA)
+        assert entry is engine.operators(grid, OMEGA)
+        assert len(engine._OPERATOR_CACHE) == 1
+
+
+# --------------------------------------------------------------------------- #
+# warm-start workspace
+# --------------------------------------------------------------------------- #
+class TestSolveWorkspace:
+    def test_store_and_guess(self):
+        from repro.fdfd.engine import SolveWorkspace
+
+        workspace = SolveWorkspace()
+        assert workspace.guess("k") is None
+        field = np.ones((3, 3), dtype=complex)
+        workspace.store("k", field)
+        np.testing.assert_array_equal(workspace.guess("k"), field)
+        assert workspace.misses == 1 and workspace.hits == 1
+
+    def test_secant_extrapolation(self):
+        from repro.fdfd.engine import SolveWorkspace
+
+        workspace = SolveWorkspace()
+        workspace.store("k", np.full((2, 2), 1.0 + 0j))
+        workspace.store("k", np.full((2, 2), 3.0 + 0j))
+        np.testing.assert_allclose(workspace.guess("k"), np.full((2, 2), 5.0 + 0j))
+
+    def test_shape_mismatch_returns_none(self):
+        from repro.fdfd.engine import SolveWorkspace
+
+        workspace = SolveWorkspace()
+        workspace.store("k", np.ones((2, 2), dtype=complex))
+        assert workspace.guess("k", shape=(3, 3)) is None
+
+    def test_guess_stack_zero_fills_missing(self):
+        from repro.fdfd.engine import SolveWorkspace
+
+        workspace = SolveWorkspace()
+        assert workspace.guess_stack(["a", "b"], (2, 2)) is None
+        workspace.store("a", np.full((2, 2), 2.0 + 1j))
+        stack = workspace.guess_stack(["a", "b"], (2, 2))
+        assert stack.shape == (2, 2, 2)
+        np.testing.assert_allclose(stack[0], np.full((2, 2), 2.0 + 1j))
+        np.testing.assert_allclose(stack[1], 0.0)
+
+    def test_invalidate_clears_everything(self):
+        from repro.fdfd.engine import SolveWorkspace
+
+        workspace = SolveWorkspace()
+        workspace.store("a", np.ones((2, 2), dtype=complex))
+        workspace.invalidate()
+        assert len(workspace) == 0 and workspace.invalidations == 1
+        assert workspace.guess("a") is None
+
+
+# --------------------------------------------------------------------------- #
+# recycled engine
+# --------------------------------------------------------------------------- #
+class TestRecycledEngine:
+    def test_registered(self):
+        from repro.fdfd.engine import RecycledEngine
+
+        assert "recycled" in available_engines()
+        engine = make_engine("recycled")
+        assert isinstance(engine, RecycledEngine)
+        assert engine.supports_warm_start
+
+    def test_invalid_parameters(self):
+        from repro.fdfd.engine import RecycledEngine
+
+        with pytest.raises(ValueError):
+            RecycledEngine(method="jacobi")
+        with pytest.raises(ValueError):
+            RecycledEngine(max_references=0)
+
+    def test_exact_fingerprint_match_is_direct(self):
+        from repro.fdfd.engine import RecycledEngine
+
+        grid, eps, _ = _straight_waveguide()
+        rhs = np.stack(_point_sources(grid, 2))
+        engine = RecycledEngine(cache=FactorizationCache())
+        exact = DirectEngine(cache=FactorizationCache()).solve_batch(grid, OMEGA, eps, rhs)
+        first = engine.solve_batch(grid, OMEGA, eps, rhs)
+        second = engine.solve_batch(grid, OMEGA, eps, rhs)
+        assert engine.stats.factorizations == 1
+        assert engine.stats.exact_solves == 1
+        np.testing.assert_allclose(first, exact, rtol=1e-12, atol=1e-18)
+        np.testing.assert_allclose(second, exact, rtol=1e-12, atol=1e-18)
+
+    def test_recycled_solve_matches_direct_on_nearby_eps(self):
+        from repro.fdfd.engine import RecycledEngine
+
+        grid, eps, _ = _straight_waveguide()
+        rhs = np.stack(_point_sources(grid, 2))
+        engine = RecycledEngine(cache=FactorizationCache())
+        engine.solve_batch(grid, OMEGA, eps, rhs)  # creates the reference
+        perturbed = eps + 0.01 * np.random.default_rng(0).random(eps.shape)
+        recycled = engine.solve_batch(grid, OMEGA, perturbed, rhs)
+        assert engine.stats.recycled_solves == 1
+        assert engine.stats.factorizations == 1  # no refactorization
+        exact = DirectEngine(cache=FactorizationCache()).solve_batch(
+            grid, OMEGA, perturbed, rhs
+        )
+        scale = np.max(np.abs(exact))
+        np.testing.assert_allclose(recycled, exact, atol=2e-6 * scale)
+
+    def test_large_drift_triggers_refactorization(self):
+        from repro.fdfd.engine import RecycledEngine
+
+        grid, eps, _ = _straight_waveguide()
+        rhs = np.stack(_point_sources(grid, 1))
+        engine = RecycledEngine(drift_threshold=0.01, cache=FactorizationCache())
+        engine.solve_batch(grid, OMEGA, eps, rhs)
+        far = eps + 3.0  # relative drift far above the threshold
+        result = engine.solve_batch(grid, OMEGA, far, rhs)
+        assert engine.stats.factorizations == 2
+        assert engine.stats.recycled_solves == 0
+        exact = DirectEngine(cache=FactorizationCache()).solve_batch(grid, OMEGA, far, rhs)
+        np.testing.assert_allclose(result, exact, rtol=1e-12, atol=1e-18)
+
+    def test_reference_lru_is_bounded(self):
+        from repro.fdfd.engine import RecycledEngine
+
+        grid, eps, _ = _straight_waveguide()
+        rhs = np.stack(_point_sources(grid, 1))
+        engine = RecycledEngine(
+            drift_threshold=1e-9, max_references=2, cache=FactorizationCache()
+        )
+        for shift in (0.0, 1.0, 2.0, 3.0):
+            engine.solve_batch(grid, OMEGA, eps + shift, rhs)
+        references = engine._references[(grid, float(OMEGA))]
+        assert len(references) == 2
+
+    def test_failed_recycle_falls_back_to_refactorization(self):
+        from repro.fdfd.engine import RecycledEngine
+
+        grid, eps, _ = _straight_waveguide()
+        rhs = np.stack(_point_sources(grid, 1))
+        # A huge drift threshold forces the recycle attempt even for a big
+        # perturbation; tiny sweep/iteration budgets make it fail.
+        engine = RecycledEngine(
+            drift_threshold=100.0, max_sweeps=1, maxiter=1, max_krylov=10**6,
+            cache=FactorizationCache(),
+        )
+        engine.solve_batch(grid, OMEGA, eps, rhs)
+        hard = eps + 5.0 * np.random.default_rng(1).random(eps.shape)
+        result = engine.solve_batch(grid, OMEGA, hard, rhs)
+        assert engine.stats.fallbacks == 1
+        assert engine.stats.factorizations == 2
+        exact = DirectEngine(cache=FactorizationCache()).solve_batch(grid, OMEGA, hard, rhs)
+        np.testing.assert_allclose(result, exact, rtol=1e-12, atol=1e-18)
+
+    def test_warm_start_does_not_change_solution(self):
+        from repro.fdfd.engine import RecycledEngine
+
+        grid, eps, _ = _straight_waveguide()
+        rhs = np.stack(_point_sources(grid, 1))
+        perturbed = eps + 0.02
+        cold = RecycledEngine(cache=FactorizationCache())
+        cold.solve_batch(grid, OMEGA, eps, rhs)
+        cold_result = cold.solve_batch(grid, OMEGA, perturbed, rhs)
+        warm = RecycledEngine(cache=FactorizationCache())
+        warm.solve_batch(grid, OMEGA, eps, rhs)
+        guess = cold_result * (1.0 + 1e-3 * np.random.default_rng(2).random(rhs.shape))
+        warm_result = warm.solve_batch(grid, OMEGA, perturbed, rhs, x0=guess)
+        scale = np.max(np.abs(cold_result))
+        np.testing.assert_allclose(warm_result, cold_result, atol=5e-6 * scale)
+
+
+class TestRecycledTrajectoryEquivalence:
+    """Forward + adjoint equivalence vs direct across a multi-step eps walk."""
+
+    def test_matches_direct_along_trajectory(self, tiny_bend):
+        from repro.fdfd.engine import RecycledEngine
+
+        rng = np.random.default_rng(3)
+        density = np.clip(
+            0.5 + 0.2 * rng.normal(size=tiny_bend.design_shape), 0, 1
+        )
+        engine = RecycledEngine(cache=FactorizationCache())
+        backend = NumericalFieldBackend(engine=engine)
+        for step in range(5):
+            reference = evaluate_spec(
+                tiny_bend, density, tiny_bend.specs[0],
+                backend=NumericalFieldBackend(engine=DirectEngine(cache=FactorizationCache())),
+                compute_gradient=True,
+            )
+            recycled = evaluate_spec(
+                tiny_bend, density, tiny_bend.specs[0],
+                backend=backend, compute_gradient=True,
+            )
+            assert recycled.objective_value == pytest.approx(
+                reference.objective_value, rel=1e-5
+            )
+            scale = np.max(np.abs(reference.grad_density))
+            assert scale > 0
+            np.testing.assert_allclose(
+                recycled.grad_density, reference.grad_density,
+                rtol=1e-5, atol=1e-5 * scale,
+            )
+            # Adam-step-sized walk through design space.
+            density = np.clip(density + 0.02 * rng.normal(size=density.shape), 0, 1)
+        # The walk recycled factorizations rather than rebuilding one per step.
+        assert engine.stats.recycled_solves > 0
+        assert engine.stats.factorizations < 5
+
+
+# --------------------------------------------------------------------------- #
+# permittivity replacement evicts every engine tag (regression)
+# --------------------------------------------------------------------------- #
+class TestSetPermittivityEviction:
+    def test_all_tags_evicted_for_old_fingerprint(self):
+        grid, eps, ports = _straight_waveguide()
+        cache = FactorizationCache(maxsize=8)
+        sim = Simulation(grid, eps, 1.55, ports, engine=DirectEngine(cache=cache))
+        old_fingerprint = sim._eps_fingerprint
+        # Factorizations of the current design under several engine tags, as
+        # left behind by direct / iterative / recycled runs of the same design.
+        for tag in ("direct", "iterative", "recycled"):
+            cache.get_or_build(
+                grid, sim.omega, old_fingerprint, lambda tag=tag: f"{tag}-entry", tag=tag
+            )
+        sim.set_permittivity(eps + 0.5)
+        for tag in ("direct", "iterative", "recycled"):
+            assert cache.peek(grid, sim.omega, old_fingerprint, tag=tag) is None
+
+
+class TestFidelitySignature:
+    """Result caches key on the signature: equal physics may share, others not."""
+
+    def test_exact_engines_share(self):
+        assert DirectEngine().fidelity_signature == DirectEngine().fidelity_signature
+
+    def test_iterative_signature_tracks_parameters(self):
+        a = IterativeEngine(rtol=1e-8, cache=FactorizationCache())
+        b = IterativeEngine(rtol=1e-8, cache=FactorizationCache())
+        c = IterativeEngine(rtol=1e-3, cache=FactorizationCache())
+        assert a.fidelity_signature == b.fidelity_signature
+        assert a.fidelity_signature != c.fidelity_signature
+
+    def test_default_signature_is_per_instance(self):
+        class OpaqueEngine(SolverEngine):
+            name = "opaque"
+
+        a, b = OpaqueEngine(), OpaqueEngine()
+        assert a.fidelity_signature != b.fidelity_signature
+        assert a.fidelity_signature == a.fidelity_signature  # stable per instance

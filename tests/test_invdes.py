@@ -231,3 +231,109 @@ class TestVariationAware:
     def test_empty_corner_list_rejected(self, tiny_bend):
         with pytest.raises(ValueError):
             RobustInverseDesignProblem(InverseDesignProblem(tiny_bend), corners=[])
+
+
+class TestSolveWorkspaceWiring:
+    """The warm-start workspace created per problem and threaded to the backend."""
+
+    def test_problem_creates_and_shares_workspace(self, tiny_bend):
+        problem = InverseDesignProblem(tiny_bend, engine="recycled")
+        assert problem.workspace is not None
+        assert problem.backend.workspace is problem.workspace
+
+    def test_explicit_backend_adopts_problem_workspace(self, tiny_bend):
+        from repro.invdes import NumericalFieldBackend
+
+        backend = NumericalFieldBackend(engine="recycled")
+        problem = InverseDesignProblem(tiny_bend, backend=backend)
+        assert backend.workspace is problem.workspace
+
+    def test_backend_with_workspace_is_adopted(self, tiny_bend):
+        from repro.fdfd.engine import SolveWorkspace
+        from repro.invdes import NumericalFieldBackend
+
+        workspace = SolveWorkspace()
+        backend = NumericalFieldBackend(engine="recycled", workspace=workspace)
+        problem = InverseDesignProblem(tiny_bend, backend=backend)
+        assert problem.workspace is workspace
+
+    def test_evaluation_populates_workspace_for_warm_start_engine(self, tiny_bend):
+        problem = InverseDesignProblem(tiny_bend, engine="recycled")
+        problem.evaluate(problem.initial_theta("waveguide"), compute_gradient=True)
+        # One forward and one adjoint field stored for the bend's single spec.
+        assert len(problem.workspace) == 2
+
+    def test_direct_engine_skips_workspace(self, tiny_bend):
+        """Exact engines gain nothing from guesses; no fields are stored."""
+        problem = InverseDesignProblem(tiny_bend)
+        problem.evaluate(problem.initial_theta("waveguide"), compute_gradient=True)
+        assert len(problem.workspace) == 0
+
+    def test_set_binarization_beta_invalidates_workspace(self, tiny_bend):
+        problem = InverseDesignProblem(tiny_bend, engine="recycled")
+        problem.evaluate(problem.initial_theta("waveguide"), compute_gradient=True)
+        assert len(problem.workspace) == 2
+        problem.set_binarization_beta(16.0)
+        assert len(problem.workspace) == 0
+        assert problem.workspace.invalidations == 1
+
+    def test_same_beta_does_not_invalidate(self, tiny_bend):
+        problem = InverseDesignProblem(tiny_bend, engine="recycled")
+        beta = next(
+            t.beta for t in problem.transforms if isinstance(t, BinarizationProjection)
+        )
+        problem.evaluate(problem.initial_theta("waveguide"), compute_gradient=True)
+        problem.set_binarization_beta(beta)
+        assert len(problem.workspace) == 2
+
+    def test_optimizer_resets_workspace_per_run(self, tiny_bend):
+        problem = InverseDesignProblem(tiny_bend, engine="recycled")
+        optimizer = AdjointOptimizer(problem, learning_rate=0.1)
+        theta0 = problem.initial_theta("waveguide")
+        optimizer.run(theta0=theta0, iterations=1)
+        invalidations = problem.workspace.invalidations
+        optimizer.run(theta0=theta0, iterations=1)
+        assert problem.workspace.invalidations > invalidations
+
+
+class TestRecycledOptimization:
+    def test_recycled_run_tracks_direct_run(self, tiny_bend):
+        """Same trajectory (FoMs within tolerance) at a fraction of the LUs."""
+        theta0 = None
+        trajectories = {}
+        for engine in (None, "recycled"):
+            problem = InverseDesignProblem(tiny_bend, engine=engine)
+            if theta0 is None:
+                theta0 = problem.initial_theta("waveguide")
+            optimizer = AdjointOptimizer(problem, learning_rate=0.05)
+            trajectories[engine] = optimizer.run(theta0=theta0, iterations=4)
+            if engine == "recycled":
+                stats = problem.backend.engine.stats
+                assert stats.recycled_solves > 0
+                assert stats.factorizations < 5
+        np.testing.assert_allclose(
+            trajectories["recycled"].foms, trajectories[None].foms, rtol=1e-4
+        )
+
+    def test_explicit_workspace_overrides_backend_workspace(self, tiny_bend):
+        from repro.fdfd.engine import SolveWorkspace
+        from repro.invdes import NumericalFieldBackend
+
+        backend = NumericalFieldBackend(engine="recycled", workspace=SolveWorkspace())
+        mine = SolveWorkspace()
+        problem = InverseDesignProblem(tiny_bend, backend=backend, workspace=mine)
+        assert problem.workspace is mine
+        assert backend.workspace is mine
+
+    def test_robust_corners_do_not_share_warm_start_slots(self, tiny_bend):
+        """Corners reuse the engine but each gets its own workspace."""
+        corners = [
+            FabricationCorner(name="nominal", weight=1.0),
+            FabricationCorner(name="shifted", weight=1.0, wavelength_drift=WavelengthDrift(0.005)),
+        ]
+        base = InverseDesignProblem(tiny_bend, engine="recycled")
+        robust = RobustInverseDesignProblem(base, corners=corners)
+        workspaces = [p.workspace for p in robust._corner_problems]
+        assert len({id(w) for w in workspaces + [base.workspace]}) == len(workspaces) + 1
+        engines = {id(p.backend.engine) for p in robust._corner_problems}
+        assert engines == {id(base.backend.engine)}

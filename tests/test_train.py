@@ -175,6 +175,24 @@ class TestTrainer:
         history = trainer.train()
         assert "train_mae" in history.final()
 
+    def test_transmission_targets_precomputed_once(self, tiny_splits):
+        """Scalar targets are built in __init__ and indexed per batch."""
+        train, _ = tiny_splits
+        trainer = Trainer(
+            make_model("blackbox", width=8, rng=0), train, target="transmission"
+        )
+        np.testing.assert_array_equal(
+            trainer._transmission_targets, train.transmission_array()
+        )
+        indices = np.array([2, 0])
+        np.testing.assert_array_equal(
+            trainer._batch_targets(indices),
+            np.array([train[2].transmission, train[0].transmission]),
+        )
+        # Field trainers skip the precompute entirely.
+        field_trainer = Trainer(make_model("fno", width=8, modes=(4, 4), depth=2, rng=0), train)
+        assert field_trainer._transmission_targets is None
+
     def test_predict_shapes(self, tiny_splits):
         train, _ = tiny_splits
         model = make_model("fno", width=8, modes=(4, 4), depth=2, rng=0)
