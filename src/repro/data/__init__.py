@@ -11,7 +11,9 @@ The subpackage provides
 * multi-fidelity dataset generation (:mod:`repro.data.generator`) — the same
   designs simulated at coarse and fine mesh,
 * dataset containers with device-level splits and on-disk storage
-  (:mod:`repro.data.dataset`), and
+  (:mod:`repro.data.dataset`),
+* streaming shard loading for training with bounded memory
+  (:mod:`repro.data.loader`), and
 * distribution analysis utilities used to reproduce Fig. 5
   (:mod:`repro.data.analysis`).
 """
@@ -40,6 +42,7 @@ from repro.data.dataset import (
     datasets_bit_identical,
     split_dataset,
 )
+from repro.data.loader import ShardDataLoader
 
 __all__ = [
     "RichLabels",
@@ -64,4 +67,5 @@ __all__ = [
     "Sample",
     "datasets_bit_identical",
     "split_dataset",
+    "ShardDataLoader",
 ]

@@ -140,18 +140,43 @@ class PhotonicDataset:
         """Scalar figure-of-merit labels, ``(N,)``."""
         return np.array([s.figure_of_merit for s in self.samples])
 
+    def fidelity_array(self) -> np.ndarray:
+        """Per-sample fidelity tags, ``(N,)`` (used by fidelity curricula)."""
+        return np.array([s.fidelity for s in self.samples])
+
+    def design_id_array(self) -> np.ndarray:
+        """Per-sample design ids, ``(N,)``."""
+        return np.array([s.design_id for s in self.samples], dtype=int)
+
+    def sample_shapes(self) -> list[tuple[int, int]]:
+        """Per-sample grid shapes (multi-fidelity datasets may mix sizes)."""
+        return [s.grid_shape for s in self.samples]
+
+    def gather(self, indices) -> tuple[np.ndarray, np.ndarray]:
+        """``(inputs, targets)`` stacks for an explicit index selection."""
+        indices = np.asarray(indices, dtype=int)
+        inputs = np.stack([self.samples[i].inputs for i in indices], axis=0)
+        targets = np.stack([self.samples[i].target for i in indices], axis=0)
+        return inputs, targets
+
     def batches(self, batch_size: int, shuffle: bool = True, rng=None):
-        """Yield ``(inputs, targets, indices)`` mini-batches as NumPy arrays."""
+        """Yield ``(inputs, targets, indices)`` mini-batches as NumPy arrays.
+
+        Batches never mix grid shapes: a chunk that would stack samples of
+        different fidelity *grids* is split at the shape boundaries (see
+        :func:`split_shape_runs`).  Uniform datasets get exactly the chunks a
+        plain ``range(0, n, batch_size)`` walk produces.
+        """
         if batch_size <= 0:
             raise ValueError(f"batch size must be positive, got {batch_size}")
         order = np.arange(len(self.samples))
         if shuffle:
             get_rng(rng).shuffle(order)
+        shapes = self.sample_shapes()
         for start in range(0, len(order), batch_size):
-            chunk = order[start : start + batch_size]
-            inputs = np.stack([self.samples[i].inputs for i in chunk], axis=0)
-            targets = np.stack([self.samples[i].target for i in chunk], axis=0)
-            yield inputs, targets, chunk
+            for chunk in split_shape_runs(order[start : start + batch_size], shapes):
+                inputs, targets = self.gather(chunk)
+                yield inputs, targets, chunk
 
     def filter(self, predicate) -> "PhotonicDataset":
         """Dataset with the samples for which ``predicate(sample)`` is True."""
@@ -223,6 +248,26 @@ class PhotonicDataset:
                     )
                 )
         return cls(samples, field_scale=header["field_scale"], metadata=header["metadata"])
+
+
+def split_shape_runs(chunk: np.ndarray, shapes) -> list[np.ndarray]:
+    """Split an index chunk into consecutive runs of equal sample shape.
+
+    ``np.stack`` needs every sample of a batch on the same grid, but a
+    multi-fidelity dataset can mix cell sizes.  Splitting at shape boundaries
+    (instead of re-ordering) keeps batch composition a pure function of the
+    index order, so shuffled iteration stays bit-identical between the
+    in-memory and the streaming data paths.  Uniform chunks come back whole.
+    """
+    if len(chunk) == 0:
+        return []
+    runs = []
+    start = 0
+    for stop in range(1, len(chunk) + 1):
+        if stop == len(chunk) or shapes[chunk[stop]] != shapes[chunk[start]]:
+            runs.append(chunk[start:stop])
+            start = stop
+    return runs
 
 
 def _arrays_equal(a: np.ndarray | None, b: np.ndarray | None) -> bool:

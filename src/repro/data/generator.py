@@ -41,7 +41,7 @@ from repro.data.shards import (
     try_load_shard,
 )
 from repro.devices.factory import make_device
-from repro.fdfd.engine import SolverEngine, available_engines
+from repro.fdfd.engine import SolverEngine, available_engines, split_engine_name
 from repro.utils.parallel import effective_workers, run_tasks
 from repro.utils.rng import get_rng
 
@@ -100,12 +100,17 @@ class DatasetGenerator:
                 )
         for fidelity in self.config.fidelities:
             engine = engine_for_fidelity(self.config.engine, fidelity)
-            if isinstance(engine, str) and engine.lower().strip() not in available_engines():
-                try:
-                    import repro.surrogate.neural_solver  # noqa: F401
-                except ImportError:  # pragma: no cover - NN stack unavailable
-                    pass
-                if engine.lower().strip() not in available_engines():
+            if isinstance(engine, str):
+                # A ":<spec>" suffix (checkpoint-backed engines like
+                # "neural:model.npz") names the base factory; only that base
+                # must exist in the registry.
+                base, _ = split_engine_name(engine)
+                if base not in available_engines():
+                    try:
+                        import repro.surrogate.neural_solver  # noqa: F401
+                    except ImportError:  # pragma: no cover - NN stack unavailable
+                        pass
+                if base not in available_engines():
                     raise ValueError(
                         f"unknown engine {engine!r} for fidelity {fidelity!r}; "
                         f"available: {available_engines()}"

@@ -1,0 +1,475 @@
+"""Streaming training data from shard artifacts.
+
+:class:`ShardDataLoader` turns the resumable ``.npz`` shard artifacts written
+by the sharded dataset generator (:mod:`repro.data.shards`) into a training
+data source without ever materializing the merged dataset: shards are loaded
+lazily through a small LRU cache, so peak memory is bounded by O(shard), not
+O(dataset).  Three contracts make the loader a drop-in for the in-memory
+:class:`~repro.data.dataset.PhotonicDataset` inside the trainer:
+
+* **Bit-identical samples** — shard artifacts round-trip losslessly and the
+  loader applies the exact :meth:`PhotonicDataset.from_labels` transforms
+  (same ``field_scale``, computed with the same median over the same values),
+  so every ``(inputs, target)`` pair equals the merged dataset's byte for
+  byte.
+* **Bit-identical iteration** — :meth:`batches` consumes the random stream
+  exactly like ``PhotonicDataset.batches`` (one shuffle of an N-index array
+  per epoch), so a trainer driven by the loader produces the same loss curves
+  as one driven by the merged dataset for the same seed.
+* **Prefetch never changes results** — background prefetch
+  (:class:`repro.utils.parallel.Prefetcher`) only warms the shard cache along
+  the already-fixed access order; any ``prefetch=`` worker count yields the
+  same batches.
+
+Shards are ordered the way :func:`repro.data.shards.plan_shards` merges them
+(fidelity-major, ascending design blocks), reconstructed from the artifact
+content: pass ``fidelities=`` in the generation config's order (the default
+sorts fidelity names, which matches configs like ``("high", "low")`` only by
+accident — always pass the config order when bit-identity to a merged dataset
+matters).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import PhotonicDataset, Sample, split_shape_runs
+from repro.data.shards import load_shard
+from repro.utils.parallel import Prefetcher
+from repro.utils.rng import get_rng
+
+__all__ = ["LoaderStats", "ShardDataLoader"]
+
+
+@dataclass
+class LoaderStats:
+    """What a :class:`ShardDataLoader` actually did, for tests and tuning.
+
+    ``max_resident`` is the largest number of decoded shard payloads held in
+    the cache at any time.  It is bounded by
+    ``max(cache_shards, shards touched by one batch)`` — a batch's shards are
+    pinned together while it is gathered — which is O(shard) in the dataset
+    size, never O(dataset); asserted in tests with a shard count far above
+    the cache size.
+    """
+
+    shard_loads: int = 0
+    cache_hits: int = 0
+    max_resident: int = 0
+
+
+@dataclass(frozen=True)
+class _SampleRef:
+    """Index entry locating one sample inside the shard set."""
+
+    shard: int
+    local: int
+    fidelity: str
+    design_id: int
+    shape: tuple[int, int]
+    transmission: float
+
+
+def _scan_shard(path: Path) -> tuple[dict, list[float], list[tuple[int, int]]]:
+    """One bounded-memory pass over a shard: header + per-label field stats.
+
+    Returns the parsed JSON header, the per-label ``std(|ez|)`` values that
+    feed the dataset-wide ``field_scale`` median, and the per-label grid
+    shapes.  Only one shard's arrays are decoded at a time.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        header = json.loads(bytes(archive["__header__"].tobytes()).decode("utf-8"))
+        stats: list[float] = []
+        shapes: list[tuple[int, int]] = []
+        for i in range(len(header.get("records", []))):
+            ez = archive[f"ez_{i}"]
+            stats.append(float(np.std(np.abs(ez))))
+            shapes.append(tuple(ez.shape))
+    return header, stats, shapes
+
+
+class ShardDataLoader:
+    """Iterate shard artifacts lazily with bounded memory.
+
+    Parameters
+    ----------
+    shard_paths:
+        The shard ``.npz`` files of one generation run (see
+        :meth:`from_directory` for the glob-a-directory constructor).
+    fidelities:
+        Fidelity names in the generation config's order; defines the
+        fidelity-major sample order.  Defaults to the sorted distinct names
+        found in the shards.
+    field_scale:
+        Global field scale applied to the targets.  Computed exactly like
+        :meth:`PhotonicDataset.from_labels` (median of per-label
+        ``std(|ez|)`` over *all* shards) when omitted.
+    cache_shards:
+        Decoded shards kept in the LRU cache (the memory bound; at least 1).
+    prefetch:
+        Background prefetch threads warming upcoming shards during
+        :meth:`batches` iteration; 0 loads synchronously.  Never changes the
+        batches, only their latency.
+    """
+
+    def __init__(
+        self,
+        shard_paths,
+        fidelities: tuple[str, ...] | list[str] | None = None,
+        field_scale: float | None = None,
+        cache_shards: int = 2,
+        prefetch: int = 0,
+    ):
+        paths = [Path(p) for p in shard_paths]
+        if not paths:
+            raise ValueError("no shard paths given")
+        if cache_shards < 1:
+            raise ValueError(f"cache_shards must be at least 1, got {cache_shards}")
+        self.cache_shards = int(cache_shards)
+        self.prefetch = int(prefetch)
+        self.stats = LoaderStats()
+        self._cache: OrderedDict[int, PhotonicDataset] = OrderedDict()
+
+        # Scan pass: headers + field statistics, one shard resident at a time.
+        scans = [_scan_shard(path) for path in paths]
+        seen = {record["fidelity"] for header, _, _ in scans for record in header["records"]}
+        if fidelities is None:
+            fidelities = tuple(sorted(seen))
+        else:
+            fidelities = tuple(fidelities)
+            unknown = seen - set(fidelities)
+            if unknown:
+                raise ValueError(
+                    f"shards contain fidelities {sorted(unknown)} missing from the "
+                    f"requested order {list(fidelities)}"
+                )
+        rank = {name: position for position, name in enumerate(fidelities)}
+        self.fidelities = fidelities
+
+        def plan_key(index: int) -> tuple:
+            records = scans[index][0]["records"]
+            return (
+                min(rank[r["fidelity"]] for r in records),
+                min(int(r["design_id"]) for r in records),
+                paths[index].name,
+            )
+
+        order = sorted(range(len(paths)), key=plan_key)
+        self._paths = [paths[i] for i in order]
+
+        if field_scale is None:
+            stats = [value for i in order for value in scans[i][1]]
+            field_scale = float(np.median(stats) or 1.0) if stats else 1.0
+        self.field_scale = float(field_scale)
+
+        self._refs: list[_SampleRef] = []
+        design_owner: dict[tuple[str, int], int] = {}
+        for shard, scan_index in enumerate(order):
+            header, _, shapes = scans[scan_index]
+            for local, record in enumerate(header["records"]):
+                fidelity = record["fidelity"]
+                design_id = int(record["design_id"])
+                # One generation run puts all samples of a (fidelity, design)
+                # in exactly one shard, so the same pair appearing in two
+                # files means the directory mixes shards of different runs
+                # (e.g. a reused shard_dir after a config change) — training
+                # on that interleaved mix would be silent corruption.
+                owner = design_owner.setdefault((fidelity, design_id), shard)
+                if owner != shard:
+                    raise ValueError(
+                        f"shards {self._paths[owner].name} and "
+                        f"{self._paths[shard].name} both contain design "
+                        f"{design_id} at fidelity {fidelity!r}; the directory "
+                        "mixes artifacts of different generation runs — use a "
+                        "clean shard_dir per config (or delete stale shards)"
+                    )
+                self._refs.append(
+                    _SampleRef(
+                        shard=shard,
+                        local=local,
+                        fidelity=fidelity,
+                        design_id=design_id,
+                        shape=shapes[local],
+                        transmission=float(sum(record["transmissions"].values())),
+                    )
+                )
+        self.metadata: dict = {
+            "num_shards": len(self._paths),
+            "fidelities": list(fidelities),
+        }
+
+    @classmethod
+    def from_directory(
+        cls, shard_dir: str | Path, fidelities=None, **kwargs
+    ) -> "ShardDataLoader":
+        """Loader over every ``shard_*.npz`` artifact in a directory.
+
+        The directory must hold the artifacts of a single generation run
+        (one config); mixing runs silently interleaves their samples.
+        """
+        shard_dir = Path(shard_dir)
+        paths = sorted(shard_dir.glob("shard_*.npz"))
+        if not paths:
+            raise FileNotFoundError(f"no shard artifacts (shard_*.npz) in {shard_dir}")
+        loader = cls(paths, fidelities=fidelities, **kwargs)
+        loader.metadata["shard_dir"] = str(shard_dir)
+        return loader
+
+    # -- container protocol --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._refs)
+
+    def __getitem__(self, index: int) -> Sample:
+        ref = self._refs[index]
+        return self._shard_dataset(ref.shard)[ref.local]
+
+    # -- index arrays (scan-pass metadata, no shard loads) -------------------------
+    def fidelity_array(self) -> np.ndarray:
+        """Per-sample fidelity tags, ``(N,)``."""
+        return np.array([ref.fidelity for ref in self._refs])
+
+    def design_id_array(self) -> np.ndarray:
+        """Per-sample design ids, ``(N,)``."""
+        return np.array([ref.design_id for ref in self._refs], dtype=int)
+
+    def transmission_array(self) -> np.ndarray:
+        """Scalar transmission labels, ``(N,)`` (from the scan pass)."""
+        return np.array([ref.transmission for ref in self._refs])
+
+    def sample_shapes(self) -> list[tuple[int, int]]:
+        """Per-sample grid shapes."""
+        return [ref.shape for ref in self._refs]
+
+    # -- views ---------------------------------------------------------------------
+    def restrict(self, fidelities=None, design_ids=None) -> "ShardDataLoader":
+        """A filtered view (by fidelity and/or design id) sharing the cache.
+
+        Mirrors ``PhotonicDataset.filter``: the sample order and the
+        ``field_scale`` of the full run are preserved, only the index is
+        narrowed — so a restricted loader matches the correspondingly
+        filtered merged dataset bit for bit.
+        """
+        keep_fidelity = None if fidelities is None else set(fidelities)
+        keep_design = None if design_ids is None else {int(d) for d in design_ids}
+        view = object.__new__(ShardDataLoader)
+        view.__dict__.update(self.__dict__)
+        view.metadata = dict(self.metadata)
+        view._refs = [
+            ref
+            for ref in self._refs
+            if (keep_fidelity is None or ref.fidelity in keep_fidelity)
+            and (keep_design is None or ref.design_id in keep_design)
+        ]
+        return view
+
+    def split(self, train_fraction: float = 0.7, rng=None) -> tuple["ShardDataLoader", "ShardDataLoader"]:
+        """Design-level train/test split (the hierarchical MAPS-Train split).
+
+        Consumes the random stream exactly like
+        :func:`repro.data.dataset.split_dataset`, so the same seed produces
+        the same design partition as splitting the merged dataset.
+        """
+        if not 0.0 < train_fraction <= 1.0:
+            raise ValueError(f"train fraction must be in (0, 1], got {train_fraction}")
+        design_ids = sorted({ref.design_id for ref in self._refs})
+        order = np.array(design_ids)
+        get_rng(rng).shuffle(order)
+        n_train = int(round(train_fraction * len(order)))
+        train_ids = set(order[:n_train].tolist())
+        test_ids = set(order[n_train:].tolist())
+        return self.restrict(design_ids=train_ids), self.restrict(design_ids=test_ids)
+
+    # -- shard cache -----------------------------------------------------------------
+    def _decode(self, payload: tuple) -> PhotonicDataset:
+        labels, design_ids = payload
+        return PhotonicDataset.from_labels(
+            labels, design_ids, field_scale=self.field_scale
+        )
+
+    def _load_payload(self, shard: int) -> tuple:
+        return load_shard(self._paths[shard])
+
+    def _insert(
+        self, shard: int, dataset: PhotonicDataset, capacity: int | None = None
+    ) -> PhotonicDataset:
+        if capacity is None:
+            capacity = self.cache_shards
+        while len(self._cache) >= capacity:
+            self._cache.popitem(last=False)
+        self._cache[shard] = dataset
+        self.stats.shard_loads += 1
+        self.stats.max_resident = max(self.stats.max_resident, len(self._cache))
+        return dataset
+
+    def _shard_dataset(self, shard: int) -> PhotonicDataset:
+        """The decoded shard, via the LRU cache (loads synchronously on miss)."""
+        cached = self._cache.get(shard)
+        if cached is not None:
+            self._cache.move_to_end(shard)
+            self.stats.cache_hits += 1
+            return cached
+        return self._insert(shard, self._decode(self._load_payload(shard)))
+
+    def cache_clear(self) -> None:
+        """Drop every decoded shard (keeps the index and statistics)."""
+        self._cache.clear()
+
+    # -- batched access ----------------------------------------------------------------
+    def gather(self, indices) -> tuple[np.ndarray, np.ndarray]:
+        """``(inputs, targets)`` stacks for an index selection, in order.
+
+        Samples are fetched shard by shard (each shard decoded once per call)
+        but placed at their original positions, so the stacks equal the
+        merged dataset's ``gather`` exactly.
+        """
+        indices = np.asarray(indices, dtype=int)
+        inputs: list = [None] * len(indices)
+        targets: list = [None] * len(indices)
+        by_shard: dict[int, list[int]] = {}
+        for position, index in enumerate(indices):
+            by_shard.setdefault(self._refs[index].shard, []).append(position)
+        for shard, positions in by_shard.items():
+            dataset = self._shard_dataset(shard)
+            for position in positions:
+                sample = dataset[self._refs[indices[position]].local]
+                inputs[position] = sample.inputs
+                targets[position] = sample.target
+        return np.stack(inputs, axis=0), np.stack(targets, axis=0)
+
+    def _chunk_shards(self, chunk: np.ndarray) -> list[int]:
+        """Distinct shards a chunk touches, in first-use order."""
+        shards: list[int] = []
+        for index in chunk:
+            shard = self._refs[index].shard
+            if shard not in shards:
+                shards.append(shard)
+        return shards
+
+    def _ensure_chunk(
+        self, chunk: np.ndarray, prefetcher: Prefetcher | None, stash: dict
+    ) -> None:
+        """Make every shard a chunk needs resident before gathering it.
+
+        The effective capacity is raised to the chunk's own shard count so an
+        insert can never evict a shard the *same* chunk still needs — the
+        invariant that keeps :meth:`_plan_loads`'s cache simulation (and with
+        it the prefetch order) exact.  Prefetched payloads carry their shard
+        id; in the normal case they arrive exactly in miss order.  If the
+        consumer mutated the cache mid-iteration (direct ``__getitem__`` /
+        ``gather`` calls) the plan can diverge: at most one payload is then
+        pulled per miss, mismatches go to a depth-bounded stash (oldest
+        dropped and reloaded on demand), and the needed shard is taken from
+        the stash or loaded synchronously — prefetch can reorder work, never
+        results, and memory stays bounded by cache + lookahead window.
+        """
+        shards = self._chunk_shards(chunk)
+        capacity = max(self.cache_shards, len(shards))
+        for shard in shards:
+            cached = self._cache.get(shard)
+            if cached is not None:
+                # Planning touch only — the hit is counted when gather()
+                # actually reads the shard, so stats stay one-per-access.
+                self._cache.move_to_end(shard)
+                continue
+            payload = stash.pop(shard, None)
+            if payload is None and prefetcher is not None and len(prefetcher):
+                fetched_shard, fetched = prefetcher.next()
+                if fetched_shard == shard:
+                    payload = fetched
+                else:
+                    stash[fetched_shard] = fetched
+                    while len(stash) > self.prefetch + 1:
+                        stash.pop(next(iter(stash)))
+            if payload is None:
+                payload = self._load_payload(shard)
+            self._insert(shard, self._decode(payload), capacity)
+
+    def _plan_loads(self, chunks: list[np.ndarray]) -> list[int]:
+        """Simulate the LRU cache over a chunk sequence: the exact miss order.
+
+        Mirrors :meth:`_ensure_chunk` (including the per-chunk capacity
+        raise) step for step; prefetch workers preload precisely this
+        sequence, so background loading can never diverge from what
+        synchronous iteration would do.
+        """
+        resident = list(self._cache.keys())
+        loads: list[int] = []
+        for chunk in chunks:
+            shards = self._chunk_shards(chunk)
+            capacity = max(self.cache_shards, len(shards))
+            for shard in shards:
+                if shard in resident:
+                    resident.remove(shard)
+                    resident.append(shard)
+                    continue
+                loads.append(shard)
+                while len(resident) >= capacity:
+                    resident.pop(0)
+                resident.append(shard)
+        return loads
+
+    def stream(self, chunks):
+        """Yield ``(inputs, targets)`` stacks for an explicit chunk sequence.
+
+        The prefetch-aware core of :meth:`batches`, exposed so callers that
+        plan their own batch composition (e.g. the trainer's fidelity
+        curricula) still get background shard warming: the whole chunk
+        sequence is known up front, so the LRU miss order can be simulated
+        and preloaded exactly like shuffled iteration.
+        """
+        chunks = [np.asarray(chunk, dtype=int) for chunk in chunks]
+        prefetcher = None
+        stash: dict[int, tuple] = {}
+        if self.prefetch > 0:
+            loads = self._plan_loads(chunks)
+            prefetcher = Prefetcher(
+                lambda shard: (shard, self._load_payload(shard)),
+                loads,
+                workers=self.prefetch,
+            )
+        try:
+            for chunk in chunks:
+                self._ensure_chunk(chunk, prefetcher, stash)
+                yield self.gather(chunk)
+        finally:
+            if prefetcher is not None:
+                prefetcher.close()
+
+    def batches(self, batch_size: int, shuffle: bool = True, rng=None):
+        """Yield ``(inputs, targets, indices)`` mini-batches, streaming shards.
+
+        Consumes the random stream exactly like
+        ``PhotonicDataset.batches`` — one shuffle of an ``arange(N)`` per
+        call — and applies the same shape-boundary chunk splitting, so the
+        loader path is bit-identical to the in-memory path for the same seed.
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch size must be positive, got {batch_size}")
+        order = np.arange(len(self._refs))
+        if shuffle:
+            get_rng(rng).shuffle(order)
+        shapes = self.sample_shapes()
+        chunks = [
+            sub
+            for start in range(0, len(order), batch_size)
+            for sub in split_shape_runs(order[start : start + batch_size], shapes)
+        ]
+        for chunk, (inputs, targets) in zip(chunks, self.stream(chunks)):
+            yield inputs, targets, chunk
+
+    # -- materialization (tests / small datasets) ----------------------------------
+    def materialize(self) -> PhotonicDataset:
+        """Load *everything* into one in-memory dataset (O(dataset) memory).
+
+        For tests and small runs; the result is bit-identical to the merged
+        dataset the generator would have returned for the same shards.
+        """
+        samples = [self[i] for i in range(len(self))]
+        return PhotonicDataset(
+            samples, field_scale=self.field_scale, metadata=dict(self.metadata)
+        )

@@ -40,7 +40,7 @@ import numpy as np
 from repro.constants import wavelength_to_omega
 from repro.data.labels import RichLabels, extract_labels_batch
 from repro.devices.factory import make_device
-from repro.fdfd.engine import SolverEngine, warmup_operators
+from repro.fdfd.engine import SolverEngine, split_engine_name, warmup_operators
 from repro.utils.numerics import resample_bilinear
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (generator imports us)
@@ -90,12 +90,14 @@ def engine_tag(engine: SolverEngine | str | None) -> str:
 
     Names are normalized the way the engine registry normalizes them, so
     equivalent spellings ("Direct", "direct ") fingerprint — and resume —
-    identically.
+    identically.  A ``":<spec>"`` suffix (e.g. the checkpoint path of
+    ``"neural:model.npz"``) keeps its case: it usually names a file.
     """
     if engine is None:
         return "direct"
     if isinstance(engine, str):
-        return engine.lower().strip()
+        base, spec = split_engine_name(engine)
+        return base if spec is None else f"{base}:{spec}"
     return getattr(engine, "name", type(engine).__name__)
 
 

@@ -164,13 +164,22 @@ class Device:
         return self.geometry.eps_with_design(density)
 
     def simulation(
-        self, density: np.ndarray, wavelength: float | None = None, state: dict | None = None
+        self,
+        density: np.ndarray,
+        wavelength: float | None = None,
+        state: dict | None = None,
+        engine=None,
     ) -> Simulation:
-        """Build a :class:`Simulation` for a design density and device state."""
+        """Build a :class:`Simulation` for a design density and device state.
+
+        ``engine`` selects the solver fidelity tier (an engine instance or a
+        registry name such as ``"iterative"`` or ``"neural:<checkpoint>"``);
+        None solves exactly.
+        """
         eps = self.eps_with_design(density)
         eps = self.apply_state(eps, state or {})
         wavelength = wavelength if wavelength is not None else self.specs[0].wavelength
-        return Simulation(self.grid, eps, wavelength, self.geometry.ports)
+        return Simulation(self.grid, eps, wavelength, self.geometry.ports, engine=engine)
 
     def simulate_spec(self, density: np.ndarray, spec: TargetSpec) -> SimulationResult:
         """Run the forward simulation for one target spec."""

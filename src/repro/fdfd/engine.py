@@ -37,6 +37,7 @@ accepted (``Simulation(engine="...")``, ``FdfdSolver(engine=...)``,
 from __future__ import annotations
 
 import hashlib
+import inspect
 import itertools
 import os
 from collections import OrderedDict
@@ -68,6 +69,7 @@ __all__ = [
     "CountingEngine",
     "register_engine",
     "available_engines",
+    "split_engine_name",
     "make_engine",
     "resolve_engine",
 ]
@@ -955,6 +957,18 @@ def available_engines() -> list[str]:
     return sorted(_ENGINE_FACTORIES)
 
 
+def split_engine_name(name: str) -> tuple[str, str | None]:
+    """Split an engine name into ``(registry key, optional ':<spec>' suffix)``.
+
+    ``"neural:model.npz"`` selects the ``"neural"`` factory with the
+    checkpoint path ``"model.npz"``.  The base name is normalized the way the
+    registry normalizes names; the suffix keeps its case (it is usually a
+    filesystem path).
+    """
+    base, sep, spec = name.strip().partition(":")
+    return base.lower().strip(), (spec.strip() if sep else None)
+
+
 def make_engine(name: str, **kwargs) -> SolverEngine:
     """Instantiate a solver engine by name.
 
@@ -963,8 +977,11 @@ def make_engine(name: str, **kwargs) -> SolverEngine:
     :class:`IterativeEngine`, ``"recycled"`` the optimization-loop
     :class:`RecycledEngine`, and ``"neural"`` the surrogate engine (requires
     ``model=...``; registered when :mod:`repro.surrogate` is imported).
+    ``"neural:<checkpoint.npz>"`` loads a promoted surrogate checkpoint — the
+    name form that lets the AI tier travel through configs and process
+    boundaries.
     """
-    key = name.lower().strip()
+    key, spec = split_engine_name(name)
     if key not in _ENGINE_FACTORIES:
         # The surrogate package registers the "neural" tier on import; do it
         # lazily so plain FDFD users never pay for (or depend on) the NN
@@ -976,7 +993,25 @@ def make_engine(name: str, **kwargs) -> SolverEngine:
             pass
     if key not in _ENGINE_FACTORIES:
         raise ValueError(f"unknown engine {name!r}; available: {available_engines()}")
-    return _ENGINE_FACTORIES[key](**kwargs)
+    factory = _ENGINE_FACTORIES[key]
+    if spec is not None:
+        if not spec:
+            raise ValueError(f"empty ':<spec>' suffix in engine name {name!r}")
+        # Only factories with an explicit ``checkpoint`` parameter are
+        # suffix-capable; probing the signature (instead of catching
+        # TypeError around the call) keeps real errors from checkpoint
+        # loading — bad paths, version-skewed kwargs — intact.
+        try:
+            parameters = inspect.signature(factory).parameters
+        except (TypeError, ValueError):  # pragma: no cover - builtin factory
+            parameters = {}
+        if "checkpoint" not in parameters:
+            raise ValueError(
+                f"engine {key!r} does not accept a ':<checkpoint>' suffix "
+                f"(got {name!r}); only the 'neural' tier is checkpoint-backed"
+            )
+        return factory(checkpoint=spec, **kwargs)
+    return factory(**kwargs)
 
 
 def resolve_engine(engine: SolverEngine | str | None, **kwargs) -> SolverEngine:

@@ -12,9 +12,19 @@
   methods compared in Table II: auto-diff through a black-box transmission
   regressor, auto-diff through a field predictor, and the adjoint formula on
   predicted forward + adjoint fields.
+* :mod:`repro.surrogate.checkpoint` — surrogate promotion: persist a trained
+  model (weights + normalization statistics + dataset fingerprint) and serve
+  it anywhere by name as ``engine="neural:<checkpoint.npz>"``.
 """
 
 from repro.surrogate.neural_solver import NeuralEngine, NeuralFieldBackend
+from repro.surrogate.checkpoint import (
+    CheckpointMeta,
+    dataset_fingerprint,
+    load_checkpoint,
+    promote_to_engine,
+    save_checkpoint,
+)
 from repro.surrogate.gradients import (
     gradient_numerical,
     gradient_fwd_adj_field,
@@ -27,6 +37,11 @@ from repro.surrogate.gradients import (
 __all__ = [
     "NeuralEngine",
     "NeuralFieldBackend",
+    "CheckpointMeta",
+    "dataset_fingerprint",
+    "load_checkpoint",
+    "promote_to_engine",
+    "save_checkpoint",
     "gradient_numerical",
     "gradient_fwd_adj_field",
     "gradient_ad_pred_field",

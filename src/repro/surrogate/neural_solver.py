@@ -102,7 +102,30 @@ class NeuralEngine(SolverEngine):
         return solutions
 
 
-register_engine("neural", lambda model=None, field_scale=1.0: NeuralEngine(model, field_scale))
+def _neural_engine_factory(model=None, field_scale: float | None = None, checkpoint=None):
+    """Registry factory for the ``"neural"`` tier.
+
+    ``checkpoint=`` (also reachable as the registry-name suffix
+    ``"neural:<path>"``) loads a promoted surrogate checkpoint — model,
+    weights and normalization statistics — so the AI tier can be selected by
+    *name* everywhere, including across process boundaries where live model
+    instances cannot travel.
+    """
+    if checkpoint is not None:
+        if model is not None:
+            raise ValueError("pass either model or checkpoint, not both")
+        if field_scale is not None:
+            raise ValueError(
+                "field_scale is part of the checkpoint's stored normalization; "
+                "pass either field_scale or checkpoint, not both"
+            )
+        from repro.surrogate.checkpoint import promote_to_engine
+
+        return promote_to_engine(checkpoint)
+    return NeuralEngine(model, 1.0 if field_scale is None else field_scale)
+
+
+register_engine("neural", _neural_engine_factory)
 
 
 class NeuralFieldBackend(FieldBackend):

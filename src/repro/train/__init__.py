@@ -7,7 +7,11 @@
 * :mod:`repro.train.metrics` — standardized evaluation metrics: normalized L2
   norm, S-parameter error and adjoint-gradient similarity.
 * :mod:`repro.train.trainer` — the training loop with hierarchical data
-  loading, learning-rate schedules and per-epoch evaluation.
+  loading (in-memory datasets or streaming shard loaders), learning-rate
+  schedules and per-epoch evaluation.
+* :mod:`repro.train.curriculum` — multi-fidelity training schedules
+  (low→high warmup, mixed-ratio sampling, fine-tune-on-high) with
+  per-fidelity loss weighting.
 """
 
 from repro.train.models import make_model, available_models
@@ -18,6 +22,15 @@ from repro.train.metrics import (
     transmission_error,
 )
 from repro.train.trainer import Trainer, TrainingHistory
+from repro.train.curriculum import (
+    Curriculum,
+    CurriculumStage,
+    MixedCurriculum,
+    WarmupCurriculum,
+    FinetuneCurriculum,
+    available_curricula,
+    make_curriculum,
+)
 
 __all__ = [
     "make_model",
@@ -30,4 +43,11 @@ __all__ = [
     "transmission_error",
     "Trainer",
     "TrainingHistory",
+    "Curriculum",
+    "CurriculumStage",
+    "MixedCurriculum",
+    "WarmupCurriculum",
+    "FinetuneCurriculum",
+    "available_curricula",
+    "make_curriculum",
 ]

@@ -1,0 +1,200 @@
+"""Multi-fidelity training curricula.
+
+A curriculum decides, per epoch, which fidelity tiers of a multi-fidelity
+dataset the trainer draws from, at what sampling fraction, and with what loss
+weight.  The three schedules of the MAPS training recipe:
+
+* ``"warmup"`` — train on the cheap low-fidelity tier first, then open up
+  every tier (optionally weighting the high-fidelity labels more).
+* ``"mixed"`` — every epoch mixes all tiers at fixed sampling ratios.
+* ``"finetune"`` — train on everything, then spend the final epochs on the
+  highest tier only (the classic pretrain-cheap / finetune-exact recipe).
+
+The trainer applies a stage by building *fidelity-homogeneous* mini-batches
+(a batch never mixes tiers, which also keeps mixed cell-size datasets
+stackable), scaling each batch's loss by the tier's weight, and recording the
+per-tier sample counts, weights and losses in the
+:class:`~repro.train.trainer.TrainingHistory` epoch records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CurriculumStage",
+    "Curriculum",
+    "MixedCurriculum",
+    "WarmupCurriculum",
+    "FinetuneCurriculum",
+    "available_curricula",
+    "make_curriculum",
+]
+
+
+@dataclass(frozen=True)
+class CurriculumStage:
+    """What one epoch trains on.
+
+    ``sample_fractions`` maps each active fidelity to the fraction of its
+    sample pool drawn this epoch (tiers absent from the mapping, or mapped to
+    0, sit the epoch out); ``loss_weights`` maps fidelities to the multiplier
+    applied to their batches' loss.
+    """
+
+    sample_fractions: dict[str, float]
+    loss_weights: dict[str, float] = field(default_factory=dict)
+
+    def weight(self, fidelity: str) -> float:
+        return float(self.loss_weights.get(fidelity, 1.0))
+
+
+class Curriculum:
+    """Base class: an epoch-indexed schedule over fidelity tiers.
+
+    Parameters
+    ----------
+    fidelities:
+        Tier names ordered cheap to expensive (the generation config's
+        ``fidelities`` order, e.g. ``("low", "high")``).
+    loss_weights:
+        Optional per-tier loss multipliers applied whenever a tier is active.
+    """
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        fidelities: tuple[str, ...] | list[str] = ("low", "high"),
+        loss_weights: dict[str, float] | None = None,
+    ):
+        fidelities = tuple(fidelities)
+        if not fidelities:
+            raise ValueError("at least one fidelity is required")
+        if len(set(fidelities)) != len(fidelities):
+            raise ValueError(f"duplicate fidelities: {list(fidelities)}")
+        self.fidelities = fidelities
+        self.loss_weights = dict(loss_weights or {})
+        unknown = set(self.loss_weights) - set(fidelities)
+        if unknown:
+            raise ValueError(
+                f"loss weights for unknown fidelities {sorted(unknown)}; "
+                f"configured: {list(fidelities)}"
+            )
+        bad = {f: w for f, w in self.loss_weights.items() if not w > 0}
+        if bad:
+            # Muting a tier is a *sampling* decision (fraction 0 / absent from
+            # the stage), not a zero loss weight.
+            raise ValueError(f"loss weights must be positive, got {bad}")
+
+    def stage(self, epoch: int, total_epochs: int) -> CurriculumStage:
+        """The stage for ``epoch`` of a ``total_epochs``-epoch run."""
+        raise NotImplementedError
+
+    def _stage(self, active: dict[str, float]) -> CurriculumStage:
+        return CurriculumStage(
+            sample_fractions=active,
+            loss_weights={f: self.loss_weights.get(f, 1.0) for f in active},
+        )
+
+    def describe(self) -> dict:
+        """JSON-serializable summary (recorded in benchmark records)."""
+        return {
+            "name": self.name,
+            "fidelities": list(self.fidelities),
+            "loss_weights": dict(self.loss_weights),
+        }
+
+
+class MixedCurriculum(Curriculum):
+    """Every epoch mixes all tiers at fixed sampling ratios."""
+
+    name = "mixed"
+
+    def __init__(self, fidelities=("low", "high"), ratios=None, loss_weights=None):
+        super().__init__(fidelities, loss_weights)
+        ratios = dict(ratios or {})
+        unknown = set(ratios) - set(self.fidelities)
+        if unknown:
+            raise ValueError(f"ratios for unknown fidelities {sorted(unknown)}")
+        self.ratios = {f: float(ratios.get(f, 1.0)) for f in self.fidelities}
+        if any(not 0.0 <= r <= 1.0 for r in self.ratios.values()):
+            raise ValueError(f"ratios must be in [0, 1], got {self.ratios}")
+
+    def stage(self, epoch: int, total_epochs: int) -> CurriculumStage:
+        return self._stage({f: r for f, r in self.ratios.items() if r > 0})
+
+    def describe(self) -> dict:
+        return {**super().describe(), "ratios": dict(self.ratios)}
+
+
+class WarmupCurriculum(Curriculum):
+    """Low→high warmup: the first tier only, then every tier.
+
+    The first ``warmup_fraction`` of the epochs trains exclusively on the
+    first (cheapest) fidelity; the remaining epochs use all tiers.
+    """
+
+    name = "warmup"
+
+    def __init__(
+        self, fidelities=("low", "high"), warmup_fraction=0.5, loss_weights=None
+    ):
+        super().__init__(fidelities, loss_weights)
+        if not 0.0 <= warmup_fraction <= 1.0:
+            raise ValueError(f"warmup_fraction must be in [0, 1], got {warmup_fraction}")
+        self.warmup_fraction = float(warmup_fraction)
+
+    def stage(self, epoch: int, total_epochs: int) -> CurriculumStage:
+        warmup_epochs = int(round(self.warmup_fraction * total_epochs))
+        if epoch < warmup_epochs:
+            return self._stage({self.fidelities[0]: 1.0})
+        return self._stage({f: 1.0 for f in self.fidelities})
+
+    def describe(self) -> dict:
+        return {**super().describe(), "warmup_fraction": self.warmup_fraction}
+
+
+class FinetuneCurriculum(Curriculum):
+    """Train on every tier, then fine-tune on the last (highest) tier only."""
+
+    name = "finetune"
+
+    def __init__(
+        self, fidelities=("low", "high"), finetune_fraction=0.3, loss_weights=None
+    ):
+        super().__init__(fidelities, loss_weights)
+        if not 0.0 <= finetune_fraction <= 1.0:
+            raise ValueError(
+                f"finetune_fraction must be in [0, 1], got {finetune_fraction}"
+            )
+        self.finetune_fraction = float(finetune_fraction)
+
+    def stage(self, epoch: int, total_epochs: int) -> CurriculumStage:
+        finetune_epochs = int(round(self.finetune_fraction * total_epochs))
+        if epoch >= total_epochs - finetune_epochs:
+            return self._stage({self.fidelities[-1]: 1.0})
+        return self._stage({f: 1.0 for f in self.fidelities})
+
+    def describe(self) -> dict:
+        return {**super().describe(), "finetune_fraction": self.finetune_fraction}
+
+
+_CURRICULA = {
+    "mixed": MixedCurriculum,
+    "warmup": WarmupCurriculum,
+    "finetune": FinetuneCurriculum,
+}
+
+
+def available_curricula() -> list[str]:
+    """Names accepted by :func:`make_curriculum`."""
+    return sorted(_CURRICULA)
+
+
+def make_curriculum(name: str, fidelities=("low", "high"), **kwargs) -> Curriculum:
+    """Instantiate a curriculum by name (``"warmup"``, ``"mixed"``, ``"finetune"``)."""
+    key = name.lower().strip()
+    if key not in _CURRICULA:
+        raise ValueError(f"unknown curriculum {name!r}; available: {available_curricula()}")
+    return _CURRICULA[key](fidelities=fidelities, **kwargs)

@@ -2,7 +2,11 @@
 
 :func:`evaluate_model` reports the metric triple used in the paper's tables —
 train/test normalized L2 norm and test adjoint-gradient similarity — for any
-field-prediction model and dataset split.
+field-prediction model and dataset split.  :func:`evaluation_protocol` is the
+fixed four-metric protocol of the training benchmark
+(``benchmarks/bench_training.py``): N-L2 on both splits, end-to-end
+transmission error of the *served* surrogate, and gradient similarity against
+the exact ``direct`` solver.
 """
 
 from __future__ import annotations
@@ -26,6 +30,26 @@ def field_prediction_error(model: Module, dataset: PhotonicDataset) -> float:
     return normalized_l2_metric(predictions, dataset.target_array())
 
 
+def _sampled_devices(dataset: PhotonicDataset, num_samples: int, rng, device_kwargs):
+    """Draw evaluation samples and rebuild their devices (shared preamble).
+
+    The sampled metrics share one policy: samples drawn without replacement,
+    the device rebuilt from the sample's own cell size plus the dataset's
+    recorded customizations (domain size, waveguide width, ...) with the
+    per-sample ``dl``/``fidelity`` keys filtered out.  Keeping it in one
+    place keeps every metric evaluating on identically built devices.
+    """
+    rng = get_rng(rng)
+    count = min(num_samples, len(dataset))
+    indices = rng.choice(len(dataset), size=count, replace=False)
+    if device_kwargs is None:
+        device_kwargs = dataset.metadata.get("device_kwargs", {}) or {}
+    device_kwargs = {k: v for k, v in device_kwargs.items() if k not in ("dl", "fidelity")}
+    for index in indices:
+        sample = dataset[int(index)]
+        yield sample, make_device(sample.device_name, dl=sample.dl, **device_kwargs)
+
+
 def gradient_similarity_score(
     model: Module,
     dataset: PhotonicDataset,
@@ -46,25 +70,55 @@ def gradient_similarity_score(
     if len(dataset) == 0:
         return float("nan")
     field_scale = dataset.field_scale if field_scale is None else field_scale
-    rng = get_rng(rng)
-    count = min(num_samples, len(dataset))
-    indices = rng.choice(len(dataset), size=count, replace=False)
-    if device_kwargs is None:
-        # Device customizations (domain size, waveguide width, ...) are recorded
-        # in the dataset metadata by the generator.
-        device_kwargs = dataset.metadata.get("device_kwargs", {}) or {}
-    # The cell size always comes from the sample itself.
-    device_kwargs = {k: v for k, v in device_kwargs.items() if k not in ("dl", "fidelity")}
 
     similarities = []
-    for index in indices:
-        sample = dataset[int(index)]
-        device = make_device(sample.device_name, dl=sample.dl, **device_kwargs)
+    for sample, device in _sampled_devices(dataset, num_samples, rng, device_kwargs):
         spec = device.specs[sample.spec_index]
         truth = gradient_numerical(device, sample.density, spec)
         estimate = gradient_fwd_adj_field(model, field_scale, device, sample.density, spec)
         similarities.append(cosine_similarity(estimate, truth))
     return float(np.mean(similarities))
+
+
+def transmission_consistency_score(
+    model: Module,
+    dataset: PhotonicDataset,
+    field_scale: float | None = None,
+    num_samples: int = 4,
+    rng=None,
+    device_kwargs: dict | None = None,
+) -> float:
+    """Mean absolute transmission error of the *served* surrogate.
+
+    This is the end-to-end check the promoted engine is judged by: for a few
+    samples the model's predicted field is pushed through the same
+    port-monitor pipeline as the numerical solver
+    (:class:`~repro.surrogate.neural_solver.NeuralFieldBackend`) and the
+    resulting total transmission is compared to the sample's stored label.
+    Field-space error does not always translate to label-space error — this
+    metric measures the one users of ``engine="neural"`` actually see.
+    """
+    from repro.fdfd.simulation import Simulation
+    from repro.surrogate.neural_solver import NeuralFieldBackend
+
+    if len(dataset) == 0:
+        return float("nan")
+    field_scale = dataset.field_scale if field_scale is None else field_scale
+
+    backend = NeuralFieldBackend(model, field_scale)
+    errors = []
+    for sample, device in _sampled_devices(dataset, num_samples, rng, device_kwargs):
+        spec = device.specs[sample.spec_index]
+        eps_r = sample.eps_r
+        if eps_r is None:
+            eps_r = device.apply_state(device.eps_with_design(sample.density), spec.state)
+        sim = Simulation(
+            device.grid, eps_r, sample.wavelength, device.geometry.ports
+        )
+        result = backend.forward_fields(sim, spec)
+        predicted = float(sum(result.transmissions.values()))
+        errors.append(abs(predicted - sample.transmission))
+    return float(np.mean(errors))
 
 
 def evaluate_model(
@@ -84,5 +138,43 @@ def evaluate_model(
             field_scale=test_set.field_scale,
             num_samples=num_gradient_samples,
             rng=rng,
+        ),
+    }
+
+
+def evaluation_protocol(
+    model: Module,
+    train_set: PhotonicDataset,
+    test_set: PhotonicDataset,
+    num_gradient_samples: int = 4,
+    num_transmission_samples: int = 4,
+    rng=None,
+) -> dict[str, float]:
+    """The standardized model-zoo evaluation of the training benchmark.
+
+    One fixed protocol for every model and curriculum so results stay
+    comparable: train/test N-L2, test transmission error through the served
+    field pipeline, and adjoint-gradient cosine similarity against the exact
+    ``direct`` solver.  The sampled metrics draw from independent generators
+    split off ``rng`` so adding one metric never reshuffles another.
+    """
+    rng = get_rng(rng)
+    grad_rng, trans_rng = rng.spawn(2)
+    return {
+        "train_n_l2": field_prediction_error(model, train_set),
+        "test_n_l2": field_prediction_error(model, test_set),
+        "test_transmission_mae": transmission_consistency_score(
+            model,
+            test_set,
+            field_scale=test_set.field_scale,
+            num_samples=num_transmission_samples,
+            rng=trans_rng,
+        ),
+        "grad_similarity": gradient_similarity_score(
+            model,
+            test_set,
+            field_scale=test_set.field_scale,
+            num_samples=num_gradient_samples,
+            rng=grad_rng,
         ),
     }

@@ -1,9 +1,21 @@
 """Training loop for the surrogate models.
 
-The trainer consumes :class:`~repro.data.dataset.PhotonicDataset` splits
-(produced with device-level splitting), supports field-prediction and
-scalar-regression targets, data-driven and physics-augmented losses, cosine
-learning-rate schedules and per-epoch evaluation.
+The trainer consumes either an in-memory
+:class:`~repro.data.dataset.PhotonicDataset` (produced with device-level
+splitting) or a streaming :class:`~repro.data.loader.ShardDataLoader` over
+shard artifacts — the ``data=`` seam.  Both paths are bit-identical for the
+same seed: the loader consumes the random stream exactly like the dataset and
+yields byte-identical batches, so loss curves do not depend on which one feeds
+the loop.
+
+Multi-fidelity runs attach a :class:`~repro.train.curriculum.Curriculum`:
+each epoch then draws fidelity-homogeneous batches according to the stage's
+sampling fractions, scales each batch's loss by the stage's per-fidelity
+weight, and records the per-fidelity mix in the history.
+
+Field-prediction and scalar-regression targets, data-driven and
+physics-augmented losses, cosine learning-rate schedules and per-epoch
+evaluation work as before.
 """
 
 from __future__ import annotations
@@ -13,10 +25,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.autograd.tensor import Tensor, no_grad
-from repro.data.dataset import PhotonicDataset
+from repro.data.dataset import split_shape_runs
 from repro.nn import Adam, CosineSchedule, Module
+from repro.train.curriculum import Curriculum, make_curriculum
 from repro.train.losses import MSELoss, NormalizedL2Loss
-from repro.train.metrics import normalized_l2_metric, transmission_error
+from repro.utils.numerics import normalized_l2
 from repro.utils.rng import get_rng
 
 
@@ -38,21 +51,41 @@ class TrainingHistory:
         return self.epochs[-1]
 
     def curve(self, key: str) -> np.ndarray:
-        return np.array([e[key] for e in self.epochs if key in e])
+        """The per-epoch values of a scalar record key, NaN where absent.
+
+        Curriculum runs produce *ragged* records (a fidelity absent from an
+        epoch's stage records no metrics for that epoch), so missing entries
+        become NaN instead of being silently dropped — the returned array
+        always has one value per epoch, aligned across keys.
+        """
+        return np.array(
+            [e[key] if key in e else float("nan") for e in self.epochs], dtype=float
+        )
 
 
 class Trainer:
-    """Train a surrogate model on a photonic dataset.
+    """Train a surrogate model on a photonic dataset or shard stream.
 
     Parameters
     ----------
     model:
         Any :class:`repro.nn.Module` following the model-zoo interface.
     train_set, test_set:
-        Datasets produced by :func:`repro.data.dataset.split_dataset`.
+        Datasets produced by :func:`repro.data.dataset.split_dataset`, or
+        :class:`~repro.data.loader.ShardDataLoader` instances streaming shard
+        artifacts.
+    data:
+        Alias seam for ``train_set`` (keyword-only, mutually exclusive):
+        emphasizes that the trainer accepts any batch source — an in-memory
+        dataset (unchanged behavior) or a streaming loader.
     target:
         ``"field"`` for field-prediction models (N-L2 loss on ``Ez``) or
         ``"transmission"`` for black-box scalar regression (MSE loss).
+    curriculum:
+        Optional multi-fidelity schedule — a
+        :class:`~repro.train.curriculum.Curriculum` instance or a name
+        (``"warmup"``, ``"mixed"``, ``"finetune"``; the fidelity order is
+        inferred from the data).  None trains on everything every epoch.
     learning_rate, weight_decay, batch_size, epochs:
         The usual optimization hyper-parameters.
     """
@@ -60,8 +93,8 @@ class Trainer:
     def __init__(
         self,
         model: Module,
-        train_set: PhotonicDataset,
-        test_set: PhotonicDataset | None = None,
+        train_set=None,
+        test_set=None,
         target: str = "field",
         learning_rate: float = 2e-3,
         weight_decay: float = 0.0,
@@ -69,9 +102,16 @@ class Trainer:
         epochs: int = 30,
         loss=None,
         seed: int = 0,
+        curriculum: Curriculum | str | None = None,
+        data=None,
     ):
         if target not in ("field", "transmission"):
             raise ValueError(f"target must be 'field' or 'transmission', got {target!r}")
+        if data is not None and train_set is not None:
+            raise ValueError("pass either train_set or data, not both")
+        train_set = data if data is not None else train_set
+        if train_set is None:
+            raise ValueError("a training dataset or loader is required")
         if len(train_set) == 0:
             raise ValueError("training set is empty")
         self.model = model
@@ -85,18 +125,98 @@ class Trainer:
         self.schedule = CosineSchedule(self.optimizer, total_epochs=max(epochs, 1))
         self.rng = get_rng(seed)
         self.history = TrainingHistory()
+        if isinstance(curriculum, str):
+            curriculum = make_curriculum(curriculum, fidelities=self._data_fidelities())
+        if curriculum is not None:
+            # A fidelity the curriculum does not know would be silently
+            # dropped from every epoch — the same mistake ShardDataLoader
+            # rejects for its fidelity order, rejected here for the same
+            # reason.  (The reverse — curriculum tiers absent from the data —
+            # is fine: restricted views legitimately hold a subset.)
+            unknown = set(self._data_fidelities()) - set(curriculum.fidelities)
+            if unknown:
+                raise ValueError(
+                    f"training data contains fidelities {sorted(unknown)} the "
+                    f"curriculum does not schedule {list(curriculum.fidelities)}; "
+                    "they would be silently excluded from every epoch"
+                )
+        self.curriculum = curriculum
         # Scalar targets are precomputed once: rebuilding the transmission
         # array from per-sample attribute access per batch per epoch is pure
         # overhead (the labels never change during training).
         self._transmission_targets = (
-            train_set.transmission_array() if target == "transmission" else None
+            np.asarray(train_set.transmission_array()) if target == "transmission" else None
         )
 
+    def _data_fidelities(self) -> tuple[str, ...]:
+        """Distinct fidelities of the training data, in order of appearance.
+
+        Generated datasets and shard loaders are fidelity-major in the
+        config's fidelity order, so first appearance reconstructs it.
+        """
+        fidelities = self.train_set.fidelity_array()
+        return tuple(dict.fromkeys(str(f) for f in fidelities))
+
     # -- batching helpers -----------------------------------------------------------
-    def _batch_targets(self, indices: np.ndarray) -> np.ndarray:
-        if self.target == "field":
-            return np.stack([self.train_set[i].target for i in indices], axis=0)
-        return self._transmission_targets[indices]
+    def _epoch_batches(self, epoch: int):
+        """Yield ``(inputs, targets, indices, weight, fidelity)`` for one epoch.
+
+        Without a curriculum this is a straight pass through
+        ``train_set.batches`` (weight 1, fidelity None) — bit-identical to
+        the non-curriculum trainer.  With one, the epoch's stage selects a
+        per-fidelity sample pool, batches stay fidelity-homogeneous (so mixed
+        cell-size datasets never stack ragged shapes) and arrive in a
+        globally shuffled order with the stage's loss weight attached.
+        """
+        if self.curriculum is None:
+            for inputs, targets, indices in self.train_set.batches(
+                self.batch_size, shuffle=True, rng=self.rng
+            ):
+                yield inputs, targets, indices, 1.0, None
+            return
+
+        stage = self.curriculum.stage(epoch, self.epochs)
+        fidelities = self.train_set.fidelity_array()
+        shapes = self.train_set.sample_shapes()
+        plan: list[tuple[str, float, np.ndarray]] = []
+        for fidelity in self.curriculum.fidelities:
+            fraction = float(stage.sample_fractions.get(fidelity, 0.0))
+            if fraction <= 0.0:
+                continue
+            pool = np.flatnonzero(fidelities == fidelity)
+            if pool.size == 0:
+                continue
+            if fraction < 1.0:
+                count = max(1, int(round(fraction * pool.size)))
+                pool = np.sort(self.rng.choice(pool, size=count, replace=False))
+            order = pool.copy()
+            self.rng.shuffle(order)
+            weight = stage.weight(fidelity)
+            for start in range(0, order.size, self.batch_size):
+                # One fidelity tag can still span grids (e.g. concatenated
+                # runs at different cell sizes), so chunks split at shape
+                # boundaries exactly like the non-curriculum path.
+                for chunk in split_shape_runs(
+                    order[start : start + self.batch_size], shapes
+                ):
+                    plan.append((fidelity, weight, chunk))
+        if not plan:
+            raise ValueError(
+                f"curriculum stage for epoch {epoch} selects no samples "
+                f"(fidelities in data: {list(self._data_fidelities())})"
+            )
+        ordered = [plan[position] for position in self.rng.permutation(len(plan))]
+        # Streaming sources (shard loaders) take the whole chunk plan up
+        # front so background prefetch engages for curriculum epochs too.
+        stream = getattr(self.train_set, "stream", None)
+        if stream is not None:
+            batches = stream([indices for _, _, indices in ordered])
+        else:
+            batches = (
+                self.train_set.gather(indices) for _, _, indices in ordered
+            )
+        for (fidelity, weight, indices), (inputs, targets) in zip(ordered, batches):
+            yield inputs, targets, indices, weight, fidelity
 
     # -- training -------------------------------------------------------------------
     def train(self, verbose: bool = False) -> TrainingHistory:
@@ -104,20 +224,32 @@ class Trainer:
         for epoch in range(self.epochs):
             self.model.train()
             epoch_losses = []
-            for inputs, targets, indices in self.train_set.batches(
-                self.batch_size, shuffle=True, rng=self.rng
-            ):
+            fidelity_losses: dict[str, list[float]] = {}
+            fidelity_counts: dict[str, int] = {}
+            fidelity_weights: dict[str, float] = {}
+            for inputs, targets, indices, weight, fidelity in self._epoch_batches(epoch):
                 if self.target == "transmission":
                     targets = self._transmission_targets[indices]
                 prediction = self.model(Tensor(inputs))
                 loss = self.loss(prediction, Tensor(targets))
+                raw_loss = loss.item()
+                if weight != 1.0:
+                    loss = loss * weight
                 self.optimizer.zero_grad()
                 loss.backward()
                 self.optimizer.step()
                 epoch_losses.append(loss.item())
+                if fidelity is not None:
+                    fidelity_losses.setdefault(fidelity, []).append(raw_loss)
+                    fidelity_counts[fidelity] = fidelity_counts.get(fidelity, 0) + len(indices)
+                    fidelity_weights[fidelity] = weight
             self.schedule.step()
 
             record = {"epoch": epoch, "train_loss": float(np.mean(epoch_losses))}
+            for fidelity, losses in fidelity_losses.items():
+                record[f"train_loss_{fidelity}"] = float(np.mean(losses))
+                record[f"samples_{fidelity}"] = int(fidelity_counts[fidelity])
+                record[f"loss_weight_{fidelity}"] = float(fidelity_weights[fidelity])
             record.update({f"train_{k}": v for k, v in self.evaluate(self.train_set).items()})
             if self.test_set is not None and len(self.test_set):
                 record.update({f"test_{k}": v for k, v in self.evaluate(self.test_set).items()})
@@ -139,17 +271,36 @@ class Trainer:
         """Model predictions for a stack of inputs (inference mode)."""
         return predict(self.model, inputs, batch_size or self.batch_size)
 
-    def evaluate(self, dataset: PhotonicDataset) -> dict[str, float]:
-        """Standard metrics of the model on a dataset."""
-        if len(dataset) == 0:
+    def evaluate(self, dataset) -> dict[str, float]:
+        """Standard metrics of the model on a dataset or loader.
+
+        Evaluation *streams*: predictions are made batch by batch and reduced
+        to per-sample scalars immediately, so evaluating a shard loader never
+        materializes an O(dataset) prediction stack.  The reductions are
+        per-sample (the metric definitions), so the streamed result equals
+        the all-at-once computation exactly.
+        """
+        if dataset is None or len(dataset) == 0:
             return {}
-        inputs = dataset.input_array()
-        predictions = self.predict(inputs)
+        per_sample: list[float] = []
         if self.target == "field":
-            targets = dataset.target_array()
-            return {"n_l2": normalized_l2_metric(predictions, targets)}
-        targets = dataset.transmission_array()
-        return {"mae": transmission_error(predictions, targets)}
+            for inputs, targets, _ in dataset.batches(self.batch_size, shuffle=False):
+                predictions = predict(self.model, inputs, self.batch_size)
+                per_sample.extend(
+                    normalized_l2(p, t) for p, t in zip(predictions, targets)
+                )
+            return {"n_l2": float(np.mean(per_sample))}
+        labels = (
+            self._transmission_targets
+            if dataset is self.train_set
+            else np.asarray(dataset.transmission_array())
+        )
+        for inputs, _, indices in dataset.batches(self.batch_size, shuffle=False):
+            predictions = predict(self.model, inputs, self.batch_size)
+            per_sample.extend(
+                float(abs(p - labels[i])) for p, i in zip(np.ravel(predictions), indices)
+            )
+        return {"mae": float(np.mean(per_sample))}
 
 
 def predict(model: Module, inputs: np.ndarray, batch_size: int = 8) -> np.ndarray:

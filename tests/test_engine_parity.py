@@ -1,0 +1,105 @@
+"""Cross-engine parity matrix: every fidelity tier must agree with ``direct``.
+
+One parametrized suite asserting forward fields, adjoint gradients and
+``evaluate_specs`` labels agree across ``direct`` x ``iterative`` x
+``recycled`` on two devices x two grid sizes — the single place engine
+regressions surface.  The ``neural`` tier (registered from a checkpoint) is
+exercised for plumbing, not accuracy: a surrogate's numbers depend on its
+training, so it is asserted to run end to end and produce finite,
+well-shaped results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices.factory import make_device
+from repro.fdfd.engine import make_engine
+from repro.invdes.adjoint import NumericalFieldBackend, evaluate_specs
+
+# (case id, device name, device kwargs) — two devices x two grid sizes.
+CASES = [
+    ("bending-dl0.10", "bending", dict(domain=3.0, design_size=1.4, dl=0.1)),
+    ("bending-dl0.08", "bending", dict(domain=3.0, design_size=1.4, dl=0.08)),
+    ("crossing-dl0.10", "crossing", dict(domain=3.0, design_size=1.4, dl=0.1)),
+    ("crossing-dl0.08", "crossing", dict(domain=3.0, design_size=1.4, dl=0.08)),
+]
+CASE_IDS = [case[0] for case in CASES]
+
+ENGINES = ["iterative", "recycled"]
+
+
+def _density(device) -> np.ndarray:
+    return np.random.default_rng(7).uniform(0.2, 0.8, size=device.design_shape)
+
+
+def _evaluate(device, density, engine):
+    backend = NumericalFieldBackend(engine=engine)
+    return evaluate_specs(device, density, backend=backend, compute_gradient=True)
+
+
+@pytest.fixture(scope="module")
+def parity_reference():
+    """Per-case direct-engine reference evaluations, computed once."""
+    references = {}
+    for case_id, device_name, device_kwargs in CASES:
+        device = make_device(device_name, **device_kwargs)
+        density = _density(device)
+        references[case_id] = (
+            device,
+            density,
+            _evaluate(device, density, make_engine("direct")),
+        )
+    return references
+
+
+@pytest.mark.parametrize("engine_name", ENGINES)
+@pytest.mark.parametrize("case_id", CASE_IDS)
+class TestEngineParity:
+    def _case(self, parity_reference, case_id, engine_name):
+        device, density, reference = parity_reference[case_id]
+        evaluations = _evaluate(device, density, make_engine(engine_name))
+        assert len(evaluations) == len(reference) == len(device.specs)
+        return reference, evaluations
+
+    def test_forward_fields_agree(self, parity_reference, case_id, engine_name):
+        reference, evaluations = self._case(parity_reference, case_id, engine_name)
+        for ref, got in zip(reference, evaluations):
+            scale = np.linalg.norm(ref.result.ez)
+            assert np.linalg.norm(got.result.ez - ref.result.ez) / scale < 1e-5
+
+    def test_adjoint_gradients_agree(self, parity_reference, case_id, engine_name):
+        reference, evaluations = self._case(parity_reference, case_id, engine_name)
+        for ref, got in zip(reference, evaluations):
+            scale = max(np.abs(ref.grad_density).max(), 1e-30)
+            np.testing.assert_allclose(
+                got.grad_density, ref.grad_density, atol=1e-5 * scale
+            )
+
+    def test_labels_agree(self, parity_reference, case_id, engine_name):
+        reference, evaluations = self._case(parity_reference, case_id, engine_name)
+        for ref, got in zip(reference, evaluations):
+            assert got.objective_value == pytest.approx(ref.objective_value, abs=1e-7)
+            assert set(got.transmissions) == set(ref.transmissions)
+            for port, value in ref.transmissions.items():
+                assert got.transmissions[port] == pytest.approx(value, abs=1e-7)
+
+
+class TestNeuralTierPlumbing:
+    """The surrogate tier runs through the same matrix; accuracy is its own
+    benchmark (``bench_training.py``), so only well-formedness is asserted."""
+
+    def test_neural_engine_through_evaluate_specs(self, tiny_checkpoint):
+        path, _, _ = tiny_checkpoint
+        device = make_device("bending", domain=3.0, design_size=1.4, dl=0.1)
+        density = _density(device)
+        evaluations = _evaluate(device, density, make_engine(f"neural:{path}"))
+        assert len(evaluations) == len(device.specs)
+        for evaluation in evaluations:
+            assert np.isfinite(evaluation.objective_value)
+            assert evaluation.result.ez.shape == device.grid.shape
+            assert np.isfinite(evaluation.result.ez).all()
+            assert np.isfinite(evaluation.grad_density).all()
+
+    def test_neural_engine_is_cold_start_only(self, tiny_checkpoint):
+        path, _, _ = tiny_checkpoint
+        assert make_engine(f"neural:{path}").supports_warm_start is False

@@ -7,11 +7,16 @@ from repro.autograd import Tensor
 from repro.constants import wavelength_to_omega
 from repro.fdfd.solver import FdfdSolver
 from repro.train import (
+    FinetuneCurriculum,
     MaxwellResidualLoss,
+    MixedCurriculum,
     NMSELoss,
     NormalizedL2Loss,
     Trainer,
+    WarmupCurriculum,
+    available_curricula,
     available_models,
+    make_curriculum,
     make_model,
     normalized_l2_metric,
     s_parameter_error,
@@ -19,7 +24,7 @@ from repro.train import (
 )
 from repro.train.losses import CompositeLoss, MSELoss
 from repro.train.models.neurolight import wave_prior_channels
-from repro.train.trainer import predict
+from repro.train.trainer import TrainingHistory, predict
 
 
 FIELD_MODELS = ["fno", "ffno", "unet", "neurolight"]
@@ -186,7 +191,7 @@ class TestTrainer:
         )
         indices = np.array([2, 0])
         np.testing.assert_array_equal(
-            trainer._batch_targets(indices),
+            trainer._transmission_targets[indices],
             np.array([train[2].transmission, train[0].transmission]),
         )
         # Field trainers skip the precompute entirely.
@@ -217,3 +222,182 @@ class TestTrainer:
         trainer = Trainer(model, train, epochs=2, batch_size=3, seed=0)
         history = trainer.train()
         assert history.curve("train_n_l2").shape == (2,)
+
+
+class TestTrainingHistory:
+    def test_curve_nan_pads_missing_epochs(self):
+        """Regression: ragged (curriculum) records must not silently shrink.
+
+        ``curve`` used to drop epochs missing the key, so curves of different
+        keys no longer aligned by epoch.  Missing entries are now NaN.
+        """
+        history = TrainingHistory()
+        history.append({"epoch": 0, "train_loss": 0.5})
+        history.append({"epoch": 1, "train_loss": 0.4, "train_loss_high": 0.6})
+        history.append({"epoch": 2, "train_loss": 0.3, "train_loss_high": 0.5})
+        curve = history.curve("train_loss_high")
+        assert curve.shape == (3,)
+        assert np.isnan(curve[0])
+        np.testing.assert_allclose(curve[1:], [0.6, 0.5])
+        # Fully present keys keep their dense curve.
+        np.testing.assert_allclose(history.curve("train_loss"), [0.5, 0.4, 0.3])
+
+    def test_final_and_len(self):
+        history = TrainingHistory()
+        with pytest.raises(ValueError):
+            history.final()
+        history.append({"epoch": 0})
+        assert len(history) == 1
+        assert history.final() == {"epoch": 0}
+
+
+class TestCurricula:
+    def test_available(self):
+        assert available_curricula() == ["finetune", "mixed", "warmup"]
+        with pytest.raises(ValueError):
+            make_curriculum("annealed")
+
+    def test_warmup_stages(self):
+        curriculum = WarmupCurriculum(("low", "high"), warmup_fraction=0.5)
+        early = curriculum.stage(0, 4)
+        late = curriculum.stage(2, 4)
+        assert set(early.sample_fractions) == {"low"}
+        assert set(late.sample_fractions) == {"low", "high"}
+
+    def test_finetune_stages(self):
+        curriculum = FinetuneCurriculum(("low", "high"), finetune_fraction=0.5)
+        assert set(curriculum.stage(0, 4).sample_fractions) == {"low", "high"}
+        assert set(curriculum.stage(3, 4).sample_fractions) == {"high"}
+
+    def test_mixed_ratios_and_weights(self):
+        curriculum = MixedCurriculum(
+            ("low", "high"), ratios={"low": 0.5}, loss_weights={"high": 2.0}
+        )
+        stage = curriculum.stage(0, 10)
+        assert stage.sample_fractions == {"low": 0.5, "high": 1.0}
+        assert stage.weight("high") == 2.0
+        assert stage.weight("low") == 1.0
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            WarmupCurriculum(("low",), warmup_fraction=1.5)
+        with pytest.raises(ValueError):
+            MixedCurriculum(("low",), ratios={"high": 1.0})
+        with pytest.raises(ValueError):
+            MixedCurriculum(("low", "high"), loss_weights={"ultra": 1.0})
+        with pytest.raises(ValueError):
+            MixedCurriculum(())
+        with pytest.raises(ValueError):
+            MixedCurriculum(("low", "low"))
+
+    def test_non_positive_loss_weights_rejected(self):
+        """Regression: weight 0 used to crash the loss un-weighting mid-epoch;
+        muting a tier is a sampling decision, not a zero weight."""
+        with pytest.raises(ValueError, match="positive"):
+            MixedCurriculum(("low", "high"), loss_weights={"low": 0.0})
+        with pytest.raises(ValueError, match="positive"):
+            WarmupCurriculum(("low", "high"), loss_weights={"high": -1.0})
+
+    def test_describe_is_json_serializable(self):
+        import json
+
+        for name in available_curricula():
+            payload = make_curriculum(name, fidelities=("low", "high")).describe()
+            assert json.loads(json.dumps(payload))["name"] == name
+
+
+class TestCurriculumTraining:
+    @pytest.fixture(scope="class")
+    def multi_fidelity_set(self, tiny_shard_run):
+        _, _, merged = tiny_shard_run
+        return merged
+
+    def test_warmup_records_fidelity_mix(self, multi_fidelity_set):
+        model = make_model("fno", width=8, modes=(3, 3), depth=2, rng=0)
+        curriculum = WarmupCurriculum(
+            ("low", "high"), warmup_fraction=0.5, loss_weights={"high": 2.0}
+        )
+        history = Trainer(
+            model, multi_fidelity_set, epochs=4, batch_size=3, seed=0,
+            curriculum=curriculum,
+        ).train()
+        first, last = history.epochs[0], history.epochs[-1]
+        assert "samples_low" in first and "samples_high" not in first
+        assert "samples_high" in last and last["loss_weight_high"] == 2.0
+        # The ragged per-fidelity curve NaN-pads the warmup epochs.
+        curve = history.curve("train_loss_high")
+        assert curve.shape == (4,)
+        assert np.isnan(curve[:2]).all() and np.isfinite(curve[2:]).all()
+
+    def test_finetune_final_epochs_high_only(self, multi_fidelity_set):
+        model = make_model("fno", width=8, modes=(3, 3), depth=2, rng=0)
+        history = Trainer(
+            model, multi_fidelity_set, epochs=3, batch_size=3, seed=0,
+            curriculum=FinetuneCurriculum(("low", "high"), finetune_fraction=0.34),
+        ).train()
+        assert "samples_low" not in history.final()
+        assert "samples_high" in history.final()
+
+    def test_curriculum_by_name_infers_fidelities(self, multi_fidelity_set):
+        model = make_model("fno", width=8, modes=(3, 3), depth=2, rng=0)
+        trainer = Trainer(
+            model, multi_fidelity_set, epochs=2, batch_size=3, seed=0,
+            curriculum="mixed",
+        )
+        assert trainer.curriculum.fidelities == ("low", "high")
+        history = trainer.train()
+        assert history.final()["samples_low"] > 0
+        assert history.final()["samples_high"] > 0
+
+    def test_mixed_fraction_subsamples_pool(self, multi_fidelity_set):
+        model = make_model("fno", width=8, modes=(3, 3), depth=2, rng=0)
+        curriculum = MixedCurriculum(("low", "high"), ratios={"low": 0.5})
+        history = Trainer(
+            model, multi_fidelity_set, epochs=1, batch_size=3, seed=0,
+            curriculum=curriculum,
+        ).train()
+        low_pool = int((multi_fidelity_set.fidelity_array() == "low").sum())
+        assert history.final()["samples_low"] == max(1, round(0.5 * low_pool))
+
+    def test_curriculum_missing_data_fidelity_rejected(self, multi_fidelity_set):
+        """A data tier the curriculum does not schedule would silently drop
+        from every epoch — rejected at construction instead."""
+        model = make_model("fno", width=8, modes=(3, 3), depth=2, rng=0)
+        with pytest.raises(ValueError, match="silently excluded"):
+            Trainer(
+                model, multi_fidelity_set, epochs=1, batch_size=3, seed=0,
+                curriculum=MixedCurriculum(("low",), ratios={"low": 1.0}),
+            )
+
+    def test_curriculum_selecting_nothing_rejected(self, multi_fidelity_set):
+        low_only = multi_fidelity_set.filter(lambda s: s.fidelity == "low")
+        model = make_model("fno", width=8, modes=(3, 3), depth=2, rng=0)
+        trainer = Trainer(
+            model, low_only, epochs=1, batch_size=3, seed=0,
+            # "high" is scheduled but absent from the restricted data — legal
+            # at construction (subset views), but a stage sampling only
+            # "high" finds nothing and must fail loudly.
+            curriculum=MixedCurriculum(("low", "high"), ratios={"low": 0.0}),
+        )
+        with pytest.raises(ValueError, match="selects no samples"):
+            trainer.train()
+
+    def test_curriculum_training_bit_identical_on_loader(self, tiny_shard_run):
+        """Curriculum + loader path matches curriculum + in-memory path."""
+        from repro.data.loader import ShardDataLoader
+
+        config, shard_dir, merged = tiny_shard_run
+        loader = ShardDataLoader.from_directory(
+            shard_dir, fidelities=config.fidelities, cache_shards=2
+        )
+        kwargs = dict(epochs=3, batch_size=3, seed=9)
+        histories = []
+        for data in (merged, loader):
+            model = make_model("fno", width=8, modes=(3, 3), depth=2, rng=0)
+            curriculum = WarmupCurriculum(
+                ("low", "high"), warmup_fraction=0.4, loss_weights={"high": 1.5}
+            )
+            histories.append(
+                Trainer(model, data=data, curriculum=curriculum, **kwargs).train()
+            )
+        assert histories[0].epochs == histories[1].epochs
