@@ -10,12 +10,18 @@ the better dataset and reports the standardized evaluation metrics (normalized
 L2 field error and adjoint-gradient similarity).
 
 Generation is sharded: ``workers=`` fans designs out across processes (the
-result is bit-identical to the serial path for the same seed), and ``engine=``
-selects the solver fidelity tier end-to-end — a single registry name, or a
+result is bit-identical to the serial path for the same seed), ``shard_dir=``
+persists resumable artifacts (``resume=True`` reuses finished shards on
+rerun), and ``engine=`` selects the solver fidelity tier end-to-end — a
+registry name, a promoted surrogate ``"neural:<checkpoint.npz>"``, or a
 per-fidelity mapping such as ``{"low": "iterative", "high": "direct"}``.
 The same knobs are available on the command line via
 ``python -m repro.data.generator``.
+
+Set ``REPRO_EXAMPLES_QUICK=1`` for a seconds-scale smoke run (used by CI).
 """
+
+import os
 
 from repro.data.analysis import distribution_balance, transmission_histogram
 from repro.data.dataset import split_dataset
@@ -24,7 +30,10 @@ from repro.train.evaluation import evaluate_model
 from repro.train.models import make_model
 from repro.train.trainer import Trainer
 
-DEVICE_KWARGS = dict(domain=3.5, design_size=1.8)
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") not in ("", "0")
+DEVICE_KWARGS = (
+    dict(domain=3.0, design_size=1.4, dl=0.1) if QUICK else dict(domain=3.5, design_size=1.8)
+)
 
 
 def histogram_row(dataset, bins=10) -> str:
@@ -42,12 +51,14 @@ def main() -> None:
         datasets[strategy] = generate_dataset(
             "bending",
             strategy,
-            num_designs=16,
+            num_designs=4 if QUICK else 16,
             seed=0,
             with_gradient=False,
-            strategy_kwargs=dict(iterations=10) if strategy != "random" else None,
+            strategy_kwargs=dict(iterations=4 if QUICK else 10) if strategy != "random" else None,
             device_kwargs=DEVICE_KWARGS,
-            engine="direct",  # or "iterative", or {"low": "iterative", "high": "direct"}
+            # or "iterative", "neural:<checkpoint.npz>", or a per-fidelity
+            # mapping like {"low": "iterative", "high": "direct"}
+            engine="direct",
             workers=2,
         )
         print(f"{strategy:20s} FoM histogram: {histogram_row(datasets[strategy])}"
@@ -57,12 +68,20 @@ def main() -> None:
     dataset = datasets["perturbed_opt_traj"]
     dataset.save("bend_dataset.npz")
     train, test = split_dataset(dataset, train_fraction=0.75, rng=0)
-    model = make_model("fno", width=16, modes=(6, 6), depth=3, rng=0)
-    trainer = Trainer(model, train, test, epochs=15, batch_size=6, learning_rate=3e-3, seed=0)
+    if QUICK:
+        model = make_model("fno", width=8, modes=(3, 3), depth=2, rng=0)
+    else:
+        model = make_model("fno", width=16, modes=(6, 6), depth=3, rng=0)
+    trainer = Trainer(
+        model, train, test, epochs=2 if QUICK else 15, batch_size=6,
+        learning_rate=3e-3, seed=0,
+    )
     trainer.train(verbose=True)
 
     # 3. Standardized evaluation: field error + gradient similarity.
-    metrics = evaluate_model(model, train, test, num_gradient_samples=3, rng=0)
+    metrics = evaluate_model(
+        model, train, test, num_gradient_samples=1 if QUICK else 3, rng=0
+    )
     print("\nstandardized metrics:")
     for key, value in metrics.items():
         print(f"  {key:16s} {value:.4f}")

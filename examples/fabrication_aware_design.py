@@ -7,14 +7,22 @@ Run with::
 The script optimizes the same device twice — once nominally and once with the
 variation-aware (robust) objective that averages the figure of merit over
 lithography/etch/operating corners — and compares how both designs hold up
-across the corner set.
+across the corner set.  (Both problems accept ``engine=`` like everything
+else: ``"recycled"`` for faster iterations, ``"neural:<checkpoint.npz>"`` for
+a surrogate-driven loop.)
+
+Set ``REPRO_EXAMPLES_QUICK=1`` for a seconds-scale smoke run (used by CI).
 """
+
+import os
 
 import numpy as np
 
 from repro.devices import make_device
 from repro.fabrication import EtchModel, FabricationCorner, LithographyModel, WavelengthDrift
 from repro.invdes import AdjointOptimizer, InverseDesignProblem, RobustInverseDesignProblem
+
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") not in ("", "0")
 
 
 def make_corners() -> list[FabricationCorner]:
@@ -32,8 +40,9 @@ def make_corners() -> list[FabricationCorner]:
 
 
 def main() -> None:
-    device = make_device("crossing", fidelity="low", domain=3.5, design_size=1.8)
-    iterations = 15
+    size = dict(domain=3.0, design_size=1.4) if QUICK else dict(domain=3.5, design_size=1.8)
+    device = make_device("crossing", fidelity="low", **size)
+    iterations = 2 if QUICK else 15
 
     # Nominal optimization (no corner awareness).
     nominal_problem = InverseDesignProblem(device)

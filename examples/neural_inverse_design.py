@@ -7,8 +7,15 @@ Run with::
 Reproduces the workflow of the paper's final case study (Fig. 6): a field
 surrogate is trained on perturbed optimization-trajectory data, plugged into
 the adjoint loop as the forward/adjoint solver, and the resulting optimization
-trajectory is verified against FDFD at every iteration.
+trajectory is verified against FDFD at every iteration.  (The equivalent by
+*name*: save the model with ``repro.surrogate.save_checkpoint`` and pass
+``engine="neural:<checkpoint.npz>"`` anywhere an engine is accepted; dataset
+generation accepts ``workers=``/``shard_dir=``/``resume`` as usual.)
+
+Set ``REPRO_EXAMPLES_QUICK=1`` for a seconds-scale smoke run (used by CI).
 """
+
+import os
 
 from repro.data.dataset import split_dataset
 from repro.data.generator import generate_dataset
@@ -18,7 +25,10 @@ from repro.surrogate import NeuralFieldBackend
 from repro.train.models import make_model
 from repro.train.trainer import Trainer
 
-DEVICE_KWARGS = dict(domain=3.5, design_size=1.8)
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") not in ("", "0")
+DEVICE_KWARGS = (
+    dict(domain=3.0, design_size=1.4) if QUICK else dict(domain=3.5, design_size=1.8)
+)
 
 
 def main() -> None:
@@ -28,15 +38,21 @@ def main() -> None:
     dataset = generate_dataset(
         "bending",
         "perturbed_opt_traj",
-        num_designs=24,
+        num_designs=6 if QUICK else 24,
         seed=0,
         with_gradient=False,
-        strategy_kwargs=dict(iterations=15),
+        strategy_kwargs=dict(iterations=4 if QUICK else 15),
         device_kwargs=DEVICE_KWARGS,
     )
     train, test = split_dataset(dataset, 0.8, rng=0)
-    model = make_model("neurolight", width=16, modes=(6, 6), depth=3, rng=0)
-    trainer = Trainer(model, train, test, epochs=20, batch_size=6, learning_rate=3e-3, seed=0)
+    if QUICK:
+        model = make_model("neurolight", width=8, modes=(3, 3), depth=2, rng=0)
+    else:
+        model = make_model("neurolight", width=16, modes=(6, 6), depth=3, rng=0)
+    trainer = Trainer(
+        model, train, test, epochs=3 if QUICK else 20, batch_size=6,
+        learning_rate=3e-3, seed=0,
+    )
     trainer.train(verbose=True)
     print(f"surrogate test N-L2: {trainer.history.final()['test_n_l2']:.3f}")
 
@@ -52,7 +68,11 @@ def main() -> None:
         true_fom = device.figure_of_merit(evaluation.density)
         verification.append((iteration, evaluation.fom, true_fom))
 
-    optimizer.run(theta0=problem.initial_theta("waveguide"), iterations=15, callback=verify)
+    optimizer.run(
+        theta0=problem.initial_theta("waveguide"),
+        iterations=3 if QUICK else 15,
+        callback=verify,
+    )
 
     print("\niter   NN-estimated FoM   FDFD-verified FoM")
     for iteration, nn_fom, true_fom in verification:

@@ -6,8 +6,15 @@ Run with::
 
 The script walks through the three MAPS components at their smallest scale:
 build a benchmark device, simulate it with the FDFD solver, run a short
-adjoint optimization and print the optimization trajectory.
+adjoint optimization (``engine="recycled"``, the optimization-loop solver
+tier) and print the optimization trajectory.  Other tiers — ``"iterative"``,
+``"direct"``, or a promoted surrogate ``"neural:<checkpoint.npz>"`` — are a
+one-line swap.
+
+Set ``REPRO_EXAMPLES_QUICK=1`` for a seconds-scale smoke run (used by CI).
 """
+
+import os
 
 import numpy as np
 
@@ -15,10 +22,13 @@ from repro.devices import make_device
 from repro.invdes import AdjointOptimizer, InverseDesignProblem
 from repro.parametrization.analysis import binarization_level
 
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") not in ("", "0")
+
 
 def main() -> None:
     # 1. Build a benchmark device (low fidelity = coarse mesh, fast solves).
-    device = make_device("bending", fidelity="low", domain=3.5, design_size=1.8)
+    size = dict(domain=3.0, design_size=1.4) if QUICK else dict(domain=3.5, design_size=1.8)
+    device = make_device("bending", fidelity="low", **size)
     print(f"device: {device.name}, grid {device.grid.shape}, design {device.design_shape}")
 
     # 2. Simulate an initial guess and inspect the rich outputs.
@@ -39,7 +49,9 @@ def main() -> None:
         problem, learning_rate=0.2, beta_schedule={0: 4.0, 10: 8.0, 20: 16.0}
     )
     trajectory = optimizer.run(
-        theta0=problem.initial_theta("waveguide"), iterations=25, verbose=True
+        theta0=problem.initial_theta("waveguide"),
+        iterations=4 if QUICK else 25,
+        verbose=True,
     )
 
     best = trajectory.best()

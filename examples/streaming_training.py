@@ -12,10 +12,14 @@ Run with::
 3. Train an FNO under a low→high warmup curriculum with high-fidelity labels
    weighted double.
 4. Promote the trained model to a checkpoint and serve it by *name*:
-   ``engine="neural:<checkpoint>"`` works anywhere an engine is accepted —
-   ``Simulation``, ``DatasetGenerator``, ``InverseDesignProblem``.
+   ``engine="neural:<checkpoint.npz>"`` works anywhere an engine is accepted —
+   ``Simulation``, ``DatasetGenerator`` (including ``workers=`` runs, where
+   live engine instances cannot travel), ``InverseDesignProblem``.
+
+Set ``REPRO_EXAMPLES_QUICK=1`` for a seconds-scale smoke run (used by CI).
 """
 
+import os
 from pathlib import Path
 
 import numpy as np
@@ -26,11 +30,16 @@ from repro.devices.factory import make_device
 from repro.surrogate import CheckpointMeta, dataset_fingerprint, save_checkpoint
 from repro.train import Trainer, make_curriculum, make_model
 
-SHARD_DIR = Path("streaming_shards")
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") not in ("", "0")
+SHARD_DIR = Path("streaming_shards_quick" if QUICK else "streaming_shards")
 CHECKPOINT = Path("bend_surrogate.npz")
 # One grid for both fidelity tiers: the tiers differ by solver engine
 # (cheap iterative vs exact direct), so low/high samples pair per design.
-DEVICE_KWARGS = dict(domain=3.5, design_size=1.8, dl=0.1)
+DEVICE_KWARGS = (
+    dict(domain=3.0, design_size=1.4, dl=0.1)
+    if QUICK
+    else dict(domain=3.5, design_size=1.8, dl=0.1)
+)
 
 
 def main() -> None:
@@ -39,7 +48,7 @@ def main() -> None:
     config = GeneratorConfig(
         device_name="bending",
         strategy="random",
-        num_designs=12,
+        num_designs=4 if QUICK else 12,
         fidelities=("low", "high"),
         with_gradient=False,
         seed=0,
@@ -62,12 +71,16 @@ def main() -> None:
     curriculum = make_curriculum(
         "warmup", fidelities=config.fidelities, loss_weights={"high": 2.0}
     )
-    model = make_model("fno", width=16, modes=(6, 6), depth=3, rng=0)
+    if QUICK:
+        model_kwargs = dict(width=8, modes=(3, 3), depth=2, rng=0)
+    else:
+        model_kwargs = dict(width=16, modes=(6, 6), depth=3, rng=0)
+    model = make_model("fno", **model_kwargs)
     trainer = Trainer(
         model,
         data=train_loader,
         test_set=test_loader,
-        epochs=20,
+        epochs=4 if QUICK else 20,
         batch_size=6,
         learning_rate=3e-3,
         seed=0,
@@ -83,7 +96,7 @@ def main() -> None:
         model,
         CheckpointMeta(
             model_name="fno",
-            model_kwargs=dict(width=16, modes=(6, 6), depth=3, rng=0),
+            model_kwargs=model_kwargs,
             field_scale=loader.field_scale,
             dataset_fingerprint=dataset_fingerprint(train_loader),
             extras={"curriculum": curriculum.describe()},

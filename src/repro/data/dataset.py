@@ -38,6 +38,10 @@ class Sample:
     adjoint_gradient: np.ndarray | None = None
     source: np.ndarray | None = None
     eps_r: np.ndarray | None = None
+    #: Per-sample loss weight (1.0 = unweighted).  Active-learning acquisition
+    #: stamps its score here (via ``RichLabels.extras["sample_weight"]``) so
+    #: informative samples pull harder on the training loss.
+    weight: float = 1.0
 
     @property
     def grid_shape(self) -> tuple[int, int]:
@@ -119,6 +123,7 @@ class PhotonicDataset:
                     adjoint_gradient=lab.adjoint_gradient,
                     source=lab.source,
                     eps_r=lab.eps_r,
+                    weight=float(lab.extras.get("sample_weight", 1.0)),
                 )
             )
         return dataset
@@ -143,6 +148,10 @@ class PhotonicDataset:
     def fidelity_array(self) -> np.ndarray:
         """Per-sample fidelity tags, ``(N,)`` (used by fidelity curricula)."""
         return np.array([s.fidelity for s in self.samples])
+
+    def sample_weight_array(self) -> np.ndarray:
+        """Per-sample loss weights, ``(N,)`` (1.0 everywhere when unweighted)."""
+        return np.array([s.weight for s in self.samples])
 
     def design_id_array(self) -> np.ndarray:
         """Per-sample design ids, ``(N,)``."""
@@ -213,6 +222,7 @@ class PhotonicDataset:
                     "stage": sample.stage,
                     "fidelity": sample.fidelity,
                     "design_id": sample.design_id,
+                    "weight": sample.weight,
                 }
             )
         header = {
@@ -304,6 +314,7 @@ def datasets_bit_identical(left: PhotonicDataset, right: PhotonicDataset) -> boo
             and a.stage == b.stage
             and a.fidelity == b.fidelity
             and a.design_id == b.design_id
+            and a.weight == b.weight
         ):
             return False
     return True

@@ -13,8 +13,9 @@ out across worker processes (``workers=``) or persist as resumable artifacts
 (``shard_dir=``).  Shard layout is a pure function of the config, so the
 merged dataset is bit-identical regardless of worker count — parallelism is a
 throughput knob, never a label change.  The solver fidelity tier is selected
-end-to-end with ``engine=`` (a registry name, or a per-fidelity mapping such
-as ``{"low": "iterative", "high": "direct"}``).
+end-to-end with ``engine=`` (a registry name — including a promoted surrogate
+checkpoint ``"neural:<checkpoint.npz>"`` — or a per-fidelity mapping such as
+``{"low": "iterative", "high": "direct"}``).
 
 Run ``python -m repro.data.generator --help`` for the command-line interface.
 """
@@ -50,12 +51,37 @@ from repro.utils.rng import get_rng
 class GeneratorConfig:
     """Configuration of one dataset-generation run.
 
-    ``engine`` selects the solver fidelity tier end-to-end (a registry name,
-    an engine instance — serial runs only — or a ``{fidelity: name}`` mapping
-    with an optional ``"*"`` default).  ``workers`` fans shards out across
-    processes (0 = all available cores); ``shard_size`` fixes the shard
-    layout independently of the worker count; ``shard_dir`` persists shards
-    as resumable artifacts (``resume=False`` forces recomputation).
+    ``engine`` selects the solver fidelity tier end-to-end: a registry name
+    (``"direct"``, ``"iterative"``, ``"recycled"``, or a promoted surrogate
+    checkpoint ``"neural:<checkpoint.npz>"``), an engine instance — serial
+    runs only — or a ``{fidelity: name}`` mapping with an optional ``"*"``
+    default.  ``workers`` fans shards out across processes (0 = all available
+    cores); ``shard_size`` fixes the shard layout independently of the worker
+    count; ``shard_dir`` persists shards as resumable artifacts
+    (``resume=False`` forces recomputation).  ``design_id_offset`` shifts the
+    global design ids of the run — active-learning loops use it to append new
+    designs to an existing shard directory without colliding with the ids
+    already there.
+
+    Examples
+    --------
+    Paired two-tier generation, four worker processes, resumable artifacts::
+
+        config = GeneratorConfig(
+            device_name="bending",
+            strategy="random",
+            num_designs=32,
+            fidelities=("low", "high"),
+            engine={"low": "iterative", "high": "direct"},
+            workers=4,
+            shard_dir="shards",   # rerunning resumes finished shards
+        )
+        dataset = DatasetGenerator(config).generate()
+
+    Labelling with a promoted surrogate (checkpoint paths travel through
+    worker processes, live engine instances cannot)::
+
+        config = GeneratorConfig(engine="neural:bend_surrogate.npz", workers=4)
     """
 
     device_name: str = "bending"
@@ -71,6 +97,7 @@ class GeneratorConfig:
     shard_size: int = 8
     shard_dir: str | None = None
     resume: bool = True
+    design_id_offset: int = 0
 
 
 class DatasetGenerator:
@@ -164,10 +191,15 @@ class DatasetGenerator:
 
         results: dict[int, tuple[list[RichLabels], list[int]]] = {}
         pending: list[ShardTask] = []
+        offset = int(config.design_id_offset or 0)
         for spec in plan:
-            densities = [designs[i].density for i in spec.design_ids]
-            stages = [designs[i].stage for i in spec.design_ids]
-            fingerprint = shard_fingerprint(config, spec, densities, stages)
+            # Shard design_ids are global (offset applied by plan_shards);
+            # the designs list is indexed locally from 0.
+            shard_designs = [designs[i - offset] for i in spec.design_ids]
+            densities = [d.density for d in shard_designs]
+            stages = [d.stage for d in shard_designs]
+            weights = [float(getattr(d, "weight", 1.0)) for d in shard_designs]
+            fingerprint = shard_fingerprint(config, spec, densities, stages, weights)
             path = shard_dir / shard_filename(fingerprint) if shard_dir else None
             if path is not None and config.resume:
                 loaded = try_load_shard(path, fingerprint)
@@ -183,6 +215,7 @@ class DatasetGenerator:
                     reference_shape=reference_shape,
                     fingerprint=fingerprint,
                     shard_path=str(path) if path is not None else None,
+                    weights=weights,
                 )
             )
 
@@ -222,6 +255,7 @@ class DatasetGenerator:
             "num_designs": config.num_designs,
             "fidelities": list(config.fidelities),
             "seed": config.seed,
+            "design_id_offset": int(config.design_id_offset or 0),
             "device_kwargs": dict(config.device_kwargs or {}),
             "engine": {
                 fidelity: engine_tag(engine_for_fidelity(config.engine, fidelity))
@@ -303,6 +337,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.data.generator",
         description="Generate a labelled (multi-fidelity) photonic dataset.",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "examples:\n"
+            "  # paired two-tier dataset, 4 workers, resumable shards\n"
+            "  python -m repro.data.generator --fidelities low high \\\n"
+            "      --engine low=iterative,high=direct --workers 4 --shard-dir shards\n"
+            "  # rerun with --shard-dir and --resume (the default) to reuse\n"
+            "  # finished shards; --no-resume forces recomputation\n"
+            "  # label with a promoted surrogate checkpoint\n"
+            "  python -m repro.data.generator --engine neural:bend_surrogate.npz\n"
+        ),
     )
     parser.add_argument("--device", default="bending", help="benchmark device name")
     parser.add_argument(
@@ -318,7 +363,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--engine",
         type=_parse_engine,
         default=None,
-        help='solver engine name, or per-fidelity mapping "low=iterative,high=direct"',
+        help=(
+            'solver engine name ("direct", "iterative", "recycled", or a '
+            'promoted surrogate "neural:<checkpoint.npz>"), or a per-fidelity '
+            'mapping "low=iterative,high=direct"'
+        ),
     )
     parser.add_argument(
         "--workers", type=int, default=1, help="worker processes (0 = all cores)"

@@ -27,6 +27,11 @@ content: pass ``fidelities=`` in the generation config's order (the default
 sorts fidelity names, which matches configs like ``("high", "low")`` only by
 accident — always pass the config order when bit-identity to a merged dataset
 matters).
+
+The loader also supports *growing* shard directories
+(:meth:`ShardDataLoader.refresh`): active-learning appends fold in without
+touching existing samples, and per-sample acquisition weights travel from the
+shard metadata to the trainer (:meth:`ShardDataLoader.sample_weight_array`).
 """
 
 from __future__ import annotations
@@ -39,7 +44,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.data.dataset import PhotonicDataset, Sample, split_shape_runs
-from repro.data.shards import load_shard
+from repro.data.shards import SHARD_FORMAT_VERSION, load_shard
 from repro.utils.parallel import Prefetcher
 from repro.utils.rng import get_rng
 
@@ -73,6 +78,48 @@ class _SampleRef:
     design_id: int
     shape: tuple[int, int]
     transmission: float
+    weight: float
+
+
+def _shard_plan_key(header: dict, name: str, rank: dict) -> tuple:
+    """Sort key reconstructing the generator's merge order from shard content.
+
+    Fidelity-major (by the loader's fidelity order), then ascending design
+    blocks, file name as the tiebreaker.  Shared by construction and
+    :meth:`ShardDataLoader.refresh` so appended shards are ordered among
+    themselves exactly the way a fresh loader would order them.
+    """
+    records = header["records"]
+    return (
+        min(rank[r["fidelity"]] for r in records),
+        min(int(r["design_id"]) for r in records),
+        name,
+    )
+
+
+def _scan_current_shards(paths: list[Path]) -> tuple[list[Path], list[tuple], list[Path]]:
+    """Scan artifacts, keeping only current-format ones.
+
+    Older-format artifacts legitimately linger in resumed directories: the
+    generator rejects them (version check), rewrites the shard under a *new*
+    fingerprint file name and never deletes files it did not write — so a
+    pre-upgrade ``shard_dir`` holds both generations side by side.  Indexing
+    the stale files alongside their rewritten versions would trip the
+    mixed-run check; skipping them here is what makes the "regenerate and
+    keep going" upgrade path work.  Returns ``(kept paths, their scans,
+    ignored paths)``.
+    """
+    kept: list[Path] = []
+    scans: list[tuple] = []
+    ignored: list[Path] = []
+    for path in paths:
+        scan = _scan_shard(path)
+        if scan[0].get("version") == SHARD_FORMAT_VERSION:
+            kept.append(path)
+            scans.append(scan)
+        else:
+            ignored.append(path)
+    return kept, scans, ignored
 
 
 def _scan_shard(path: Path) -> tuple[dict, list[float], list[tuple[int, int]]]:
@@ -115,6 +162,21 @@ class ShardDataLoader:
         Background prefetch threads warming upcoming shards during
         :meth:`batches` iteration; 0 loads synchronously.  Never changes the
         batches, only their latency.
+
+    Examples
+    --------
+    Stream a generation run into training, then keep growing it::
+
+        loader = ShardDataLoader.from_directory("shards", fidelities=("low", "high"))
+        train, test = loader.split(train_fraction=0.8, rng=0)
+        Trainer(model, data=train, test_set=test, epochs=30).train()
+
+        # ... an active-learning round appends new shard artifacts ...
+        loader.refresh()          # picks them up; existing samples untouched
+
+    Per-sample metadata from the scan pass (no shard loads):
+    :meth:`fidelity_array`, :meth:`design_id_array`,
+    :meth:`transmission_array`, :meth:`sample_weight_array`.
     """
 
     def __init__(
@@ -125,8 +187,8 @@ class ShardDataLoader:
         cache_shards: int = 2,
         prefetch: int = 0,
     ):
-        paths = [Path(p) for p in shard_paths]
-        if not paths:
+        candidates = [Path(p) for p in shard_paths]
+        if not candidates:
             raise ValueError("no shard paths given")
         if cache_shards < 1:
             raise ValueError(f"cache_shards must be at least 1, got {cache_shards}")
@@ -136,7 +198,16 @@ class ShardDataLoader:
         self._cache: OrderedDict[int, PhotonicDataset] = OrderedDict()
 
         # Scan pass: headers + field statistics, one shard resident at a time.
-        scans = [_scan_shard(path) for path in paths]
+        # Stale older-format artifacts are skipped (see _scan_current_shards).
+        paths, scans, ignored = _scan_current_shards(candidates)
+        self._ignored_paths = set(ignored)
+        if not paths:
+            raise ValueError(
+                f"none of the {len(candidates)} shard artifacts use the "
+                f"current format version {SHARD_FORMAT_VERSION}; regenerate "
+                "the dataset into this directory (stale older-format files "
+                "are ignored, not loaded)"
+            )
         seen = {record["fidelity"] for header, _, _ in scans for record in header["records"]}
         if fidelities is None:
             fidelities = tuple(sorted(seen))
@@ -151,15 +222,10 @@ class ShardDataLoader:
         rank = {name: position for position, name in enumerate(fidelities)}
         self.fidelities = fidelities
 
-        def plan_key(index: int) -> tuple:
-            records = scans[index][0]["records"]
-            return (
-                min(rank[r["fidelity"]] for r in records),
-                min(int(r["design_id"]) for r in records),
-                paths[index].name,
-            )
-
-        order = sorted(range(len(paths)), key=plan_key)
+        order = sorted(
+            range(len(paths)),
+            key=lambda i: _shard_plan_key(scans[i][0], paths[i].name, rank),
+        )
         self._paths = [paths[i] for i in order]
 
         if field_scale is None:
@@ -168,40 +234,50 @@ class ShardDataLoader:
         self.field_scale = float(field_scale)
 
         self._refs: list[_SampleRef] = []
-        design_owner: dict[tuple[str, int], int] = {}
+        self._design_owner: dict[tuple[str, int], int] = {}
+        self._is_view = False
         for shard, scan_index in enumerate(order):
             header, _, shapes = scans[scan_index]
-            for local, record in enumerate(header["records"]):
-                fidelity = record["fidelity"]
-                design_id = int(record["design_id"])
-                # One generation run puts all samples of a (fidelity, design)
-                # in exactly one shard, so the same pair appearing in two
-                # files means the directory mixes shards of different runs
-                # (e.g. a reused shard_dir after a config change) — training
-                # on that interleaved mix would be silent corruption.
-                owner = design_owner.setdefault((fidelity, design_id), shard)
-                if owner != shard:
-                    raise ValueError(
-                        f"shards {self._paths[owner].name} and "
-                        f"{self._paths[shard].name} both contain design "
-                        f"{design_id} at fidelity {fidelity!r}; the directory "
-                        "mixes artifacts of different generation runs — use a "
-                        "clean shard_dir per config (or delete stale shards)"
-                    )
-                self._refs.append(
-                    _SampleRef(
-                        shard=shard,
-                        local=local,
-                        fidelity=fidelity,
-                        design_id=design_id,
-                        shape=shapes[local],
-                        transmission=float(sum(record["transmissions"].values())),
-                    )
-                )
+            self._index_shard(shard, header, shapes)
         self.metadata: dict = {
             "num_shards": len(self._paths),
             "fidelities": list(fidelities),
         }
+
+    def _index_shard(self, shard: int, header: dict, shapes) -> None:
+        """Append one scanned shard's samples to the index.
+
+        Rejects a ``(fidelity, design_id)`` pair already owned by another
+        shard: one generation run puts all samples of a (fidelity, design) in
+        exactly one shard, so the same pair appearing in two files means the
+        directory mixes shards of different runs (e.g. a reused shard_dir
+        after a config change) — training on that interleaved mix would be
+        silent corruption.  Appending runs (active learning) stay legal
+        because they shift ``design_id_offset`` so their ids never collide.
+        """
+        for local, record in enumerate(header["records"]):
+            fidelity = record["fidelity"]
+            design_id = int(record["design_id"])
+            owner = self._design_owner.setdefault((fidelity, design_id), shard)
+            if owner != shard:
+                raise ValueError(
+                    f"shards {self._paths[owner].name} and "
+                    f"{self._paths[shard].name} both contain design "
+                    f"{design_id} at fidelity {fidelity!r}; the directory "
+                    "mixes artifacts of different generation runs — use a "
+                    "clean shard_dir per config (or delete stale shards)"
+                )
+            self._refs.append(
+                _SampleRef(
+                    shard=shard,
+                    local=local,
+                    fidelity=fidelity,
+                    design_id=design_id,
+                    shape=shapes[local],
+                    transmission=float(sum(record["transmissions"].values())),
+                    weight=float(record.get("extras", {}).get("sample_weight", 1.0)),
+                )
+            )
 
     @classmethod
     def from_directory(
@@ -241,6 +317,15 @@ class ShardDataLoader:
         """Scalar transmission labels, ``(N,)`` (from the scan pass)."""
         return np.array([ref.transmission for ref in self._refs])
 
+    def sample_weight_array(self) -> np.ndarray:
+        """Per-sample loss weights, ``(N,)`` (from shard ``extras`` metadata).
+
+        1.0 everywhere for plain generation runs; active-learning appends
+        carry their acquisition weight here, and the trainer picks the array
+        up automatically for per-sample loss weighting.
+        """
+        return np.array([ref.weight for ref in self._refs])
+
     def sample_shapes(self) -> list[tuple[int, int]]:
         """Per-sample grid shapes."""
         return [ref.shape for ref in self._refs]
@@ -259,6 +344,7 @@ class ShardDataLoader:
         view = object.__new__(ShardDataLoader)
         view.__dict__.update(self.__dict__)
         view.metadata = dict(self.metadata)
+        view._is_view = True
         view._refs = [
             ref
             for ref in self._refs
@@ -283,6 +369,116 @@ class ShardDataLoader:
         train_ids = set(order[:n_train].tolist())
         test_ids = set(order[n_train:].tolist())
         return self.restrict(design_ids=train_ids), self.restrict(design_ids=test_ids)
+
+    # -- growth --------------------------------------------------------------------
+    def refresh(self, shard_paths=None) -> int:
+        """Pick up shard artifacts that appeared since the loader was built.
+
+        The active-learning append path: a generation run wrote new shards
+        into the directory (with a ``design_id_offset`` past the existing
+        ids), and ``refresh()`` folds them into the index *without touching
+        anything already there* —
+
+        * pre-existing samples keep their indices and stay byte-identical
+          (the ``field_scale`` is frozen at construction; recomputing the
+          median over the grown set would silently rescale every old target
+          and invalidate the model trained on them),
+        * new samples are appended after the existing ones, ordered among
+          themselves the way a fresh loader would order them,
+        * the stale-mix check keeps protecting the growing directory: a new
+          shard that re-labels an existing ``(fidelity, design_id)`` pair is
+          rejected as a mixed-run artifact, exactly like at construction.
+
+        Parameters
+        ----------
+        shard_paths:
+            Explicit paths to consider.  Defaults to re-globbing the
+            directory the loader was built from (:meth:`from_directory`);
+            loaders built from an explicit path list must pass this.
+
+        Returns
+        -------
+        int
+            Number of samples appended (0 when nothing new showed up).
+
+        Examples
+        --------
+        >>> loader = ShardDataLoader.from_directory("shards")   # doctest: +SKIP
+        >>> DatasetGenerator(replace(config, design_id_offset=len(ids),
+        ...                          shard_dir="shards")).generate()  # doctest: +SKIP
+        >>> loader.refresh()                                    # doctest: +SKIP
+        8
+        """
+        if self._is_view:
+            raise ValueError(
+                "refresh() must be called on the root loader, not a "
+                "restrict()/split() view — refresh the root and re-derive "
+                "the views"
+            )
+        if shard_paths is None:
+            shard_dir = self.metadata.get("shard_dir")
+            if shard_dir is None:
+                raise ValueError(
+                    "this loader was built from an explicit path list; pass "
+                    "shard_paths= to refresh it"
+                )
+            shard_paths = sorted(Path(shard_dir).glob("shard_*.npz"))
+        known = set(self._paths) | self._ignored_paths
+        candidates = [p for p in (Path(p) for p in shard_paths) if p not in known]
+        if not candidates:
+            return 0
+
+        new_paths, scans, ignored = _scan_current_shards(candidates)
+        self._ignored_paths.update(ignored)
+        if not new_paths:
+            return 0
+        seen = {
+            record["fidelity"] for header, _, _ in scans for record in header["records"]
+        }
+        unknown = seen - set(self.fidelities)
+        if unknown:
+            raise ValueError(
+                f"new shards contain fidelities {sorted(unknown)} missing from "
+                f"the loader's order {list(self.fidelities)}; build a fresh "
+                "loader to change the fidelity set"
+            )
+        rank = {name: position for position, name in enumerate(self.fidelities)}
+
+        # Validate before mutating anything, so a stale-mix rejection leaves
+        # the loader exactly as it was.
+        incoming: dict[tuple[str, int], Path] = {}
+        for scan_index, (header, _, _) in enumerate(scans):
+            for record in header["records"]:
+                pair = (record["fidelity"], int(record["design_id"]))
+                # Repeats inside one shard are normal (one label per spec);
+                # only a pair owned by a *different* file is a mixed run.
+                conflict = None
+                if pair in self._design_owner:
+                    conflict = self._paths[self._design_owner[pair]].name
+                elif incoming.get(pair, new_paths[scan_index]) != new_paths[scan_index]:
+                    conflict = incoming[pair].name
+                if conflict is not None:
+                    raise ValueError(
+                        f"shards {conflict} and {new_paths[scan_index].name} "
+                        f"both contain design {pair[1]} at fidelity "
+                        f"{pair[0]!r}; the directory mixes artifacts of "
+                        "different generation runs — use a clean shard_dir "
+                        "per config (or delete stale shards)"
+                    )
+                incoming.setdefault(pair, new_paths[scan_index])
+
+        appended = 0
+        for scan_index in sorted(
+            range(len(new_paths)),
+            key=lambda i: _shard_plan_key(scans[i][0], new_paths[i].name, rank),
+        ):
+            header, _, shapes = scans[scan_index]
+            shard = len(self._paths)
+            self._paths.append(new_paths[scan_index])
+            self._index_shard(shard, header, shapes)
+            appended += len(header["records"])
+        self.metadata["num_shards"] = len(self._paths)
+        return appended
 
     # -- shard cache -----------------------------------------------------------------
     def _decode(self, payload: tuple) -> PhotonicDataset:

@@ -34,11 +34,18 @@ from repro.utils.rng import get_rng
 
 @dataclass
 class DesignSample:
-    """A design density plus provenance information."""
+    """A design density plus provenance information.
+
+    ``weight`` is the per-design loss weight carried into every label derived
+    from the design (shard metadata → loader → trainer): acquisition loops set
+    it to the (normalized) acquisition score so informative designs pull
+    harder on the training loss.  The default 1.0 is "unweighted".
+    """
 
     density: np.ndarray
     stage: str
     fom_hint: float | None = None
+    weight: float = 1.0
 
 
 class SamplingStrategy:

@@ -60,7 +60,12 @@ __all__ = [
     "try_load_shard",
 ]
 
-SHARD_FORMAT_VERSION = 1
+# Version 2: labels carry ``extras["sample_weight"]`` (per-design acquisition
+# weights) and the shard fingerprint covers the weight vector.  Version-1
+# artifacts fail the version check: the generator regenerates them under new
+# fingerprint file names, and ``ShardDataLoader`` skips the stale files left
+# behind (it never deletes files it does not own).
+SHARD_FORMAT_VERSION = 2
 
 
 # --------------------------------------------------------------------------- #
@@ -126,6 +131,9 @@ class ShardTask:
     reference_shape: tuple[int, int]
     fingerprint: str
     shard_path: str | None = None
+    #: Per-design loss weights (acquisition scores) stamped into every label's
+    #: ``extras["sample_weight"]``.  None means uniform (1.0).
+    weights: list[float] | None = None
     #: Return labels in memory even when an artifact is written.  Set for
     #: in-process execution, where labels travelling "via the file" would be
     #: a pointless compress/decompress of every field array.
@@ -141,7 +149,9 @@ def plan_shards(config: "GeneratorConfig", num_designs: int | None = None) -> li
 
     The layout depends only on the config (fidelities, design count, shard
     size) — not on worker count — so labels, artifacts and merge order are
-    reproducible across machines and parallelism levels.
+    reproducible across machines and parallelism levels.  Global design ids
+    start at ``config.design_id_offset`` (default 0), which is how appending
+    runs keep ids unique within a growing shard directory.
     """
     if num_designs is None:
         num_designs = config.num_designs
@@ -150,8 +160,9 @@ def plan_shards(config: "GeneratorConfig", num_designs: int | None = None) -> li
     shard_size = int(getattr(config, "shard_size", 0) or 0)
     if shard_size <= 0:
         shard_size = num_designs
+    offset = int(getattr(config, "design_id_offset", 0) or 0)
     blocks = [
-        tuple(range(start, min(start + shard_size, num_designs)))
+        tuple(range(offset + start, offset + min(start + shard_size, num_designs)))
         for start in range(0, num_designs, shard_size)
     ]
     total = len(config.fidelities) * len(blocks)
@@ -177,12 +188,15 @@ def shard_fingerprint(
     spec: ShardSpec,
     densities: list[np.ndarray],
     stages: list[str],
+    weights: list[float] | None = None,
 ) -> str:
     """Content fingerprint of a shard: config identity + design content.
 
     Hashing the actual design densities (not just the sampling seed) keeps
     resume artifacts valid for externally supplied designs and stale-proof
-    when the sampling strategy changes.
+    when the sampling strategy changes.  Per-design loss ``weights`` are part
+    of the identity too — they change what training sees, so a re-weighted
+    rerun must not resume from differently weighted artifacts.
     """
     payload = {
         "version": SHARD_FORMAT_VERSION,
@@ -193,6 +207,9 @@ def shard_fingerprint(
         "fidelity": spec.fidelity,
         "design_ids": list(spec.design_ids),
         "stages": list(stages),
+        "weights": [float(w) for w in weights]
+        if weights is not None
+        else [1.0] * len(densities),
     }
     digest = hashlib.sha1(json.dumps(payload, sort_keys=True, default=str).encode())
     for density in densities:
@@ -231,7 +248,10 @@ def run_shard(task: ShardTask):
 
     labels: list[RichLabels] = []
     design_ids: list[int] = []
-    for design_id, density, stage in zip(spec.design_ids, task.densities, task.stages):
+    weights = task.weights if task.weights is not None else [1.0] * len(task.densities)
+    for design_id, density, stage, weight in zip(
+        spec.design_ids, task.densities, task.stages, weights
+    ):
         if device.design_shape != tuple(task.reference_shape):
             density = np.clip(
                 resample_bilinear(density, device.design_shape), 0.0, 1.0
@@ -244,6 +264,11 @@ def run_shard(task: ShardTask):
             stage=stage,
             engine=engine,
         )
+        for label in design_labels:
+            # The acquisition weight rides in the label extras, which shard
+            # artifacts round-trip exactly — that is the metadata channel the
+            # loader and trainer read it back from.
+            label.extras["sample_weight"] = float(weight)
         labels.extend(design_labels)
         design_ids.extend([design_id] * len(design_labels))
 

@@ -241,6 +241,16 @@ class FactorizationCache:
     an incomplete LU plus the assembled matrix for the iterative one).  The
     cache is deliberately engine-agnostic: entries are namespaced by a ``tag``
     so direct and iterative factorizations of the same operator coexist.
+
+    Most code never touches the cache directly — engines share
+    :data:`default_factorization_cache` unless given their own.  Direct use
+    looks like::
+
+        cache = FactorizationCache(maxsize=4)
+        lu = cache.get_or_build(grid, omega, eps_fingerprint(eps_r),
+                                build=lambda: splu(A.tocsc()), tag="direct")
+        cache.stats.hits, cache.stats.misses   # factorize-once, solve-many
+        cache.evict(grid, omega, fingerprint)  # e.g. after in-place eps edits
     """
 
     def __init__(self, maxsize: int | None = None):
@@ -401,6 +411,23 @@ class SolverEngine:
     source scaling is the caller's business), so the same call serves forward
     solves (``b = i omega J``), adjoint solves (``b = dF/dEz``; the operator is
     complex symmetric, ``A^T = A``) and normalization runs.
+
+    Examples
+    --------
+    Engines are usually selected by registry name at a call site::
+
+        sim = Simulation(grid, eps_r, wavelength, ports, engine="iterative")
+        problem = InverseDesignProblem(device, engine="recycled")
+        config = GeneratorConfig(engine={"low": "iterative", "high": "direct"})
+
+    or driven directly — one factorization, many right-hand sides::
+
+        engine = make_engine("direct")
+        fields = engine.solve_batch(grid, omega, eps_r, rhs_stack)  # (n, nx, ny)
+
+    A new backend becomes a registry-wide fidelity tier in one call::
+
+        register_engine("mytier", MyEngine)   # Simulation(engine="mytier") works
     """
 
     name: str = "abstract"

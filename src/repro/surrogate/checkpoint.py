@@ -177,6 +177,20 @@ def promote_to_engine(
     the normalization convention (``field_scale``) the model was trained
     under and advertises ``supports_warm_start=False`` — a one-shot network
     prediction has no Krylov iteration to warm-start.
+
+    Examples
+    --------
+    ::
+
+        save_checkpoint("surrogate.npz", model, CheckpointMeta(
+            model_name="fno", model_kwargs=dict(width=16, modes=(6, 6), depth=3),
+            field_scale=loader.field_scale,
+            dataset_fingerprint=dataset_fingerprint(loader)))
+        engine = promote_to_engine("surrogate.npz")        # instance ...
+        sim = device.simulation(density, engine=engine)
+        # ... or by name, anywhere an engine name is accepted (works across
+        # worker processes, where live instances cannot travel):
+        dataset = generate_dataset(..., engine="neural:surrogate.npz", workers=4)
     """
     if isinstance(model, (str, Path)):
         model, meta = load_checkpoint(model)

@@ -10,8 +10,11 @@
   loading (in-memory datasets or streaming shard loaders), learning-rate
   schedules and per-epoch evaluation.
 * :mod:`repro.train.curriculum` — multi-fidelity training schedules
-  (low→high warmup, mixed-ratio sampling, fine-tune-on-high) with
-  per-fidelity loss weighting.
+  (low→high warmup, mixed-ratio sampling, fine-tune-on-high, and the
+  validation-driven ``adaptive`` schedule) with per-fidelity loss weighting.
+* :mod:`repro.train.active` — the closed active-learning loop: train →
+  evaluate → acquire → regenerate, with surrogate-disagreement acquisition
+  and shard-directory refresh.
 """
 
 from repro.train.models import make_model, available_models
@@ -28,9 +31,11 @@ from repro.train.curriculum import (
     MixedCurriculum,
     WarmupCurriculum,
     FinetuneCurriculum,
+    AdaptiveCurriculum,
     available_curricula,
     make_curriculum,
 )
+from repro.train.active import ActiveLearningConfig, ActiveLearningLoop
 
 __all__ = [
     "make_model",
@@ -48,6 +53,9 @@ __all__ = [
     "MixedCurriculum",
     "WarmupCurriculum",
     "FinetuneCurriculum",
+    "AdaptiveCurriculum",
     "available_curricula",
     "make_curriculum",
+    "ActiveLearningConfig",
+    "ActiveLearningLoop",
 ]

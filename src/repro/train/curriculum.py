@@ -9,17 +9,25 @@ weight.  The three schedules of the MAPS training recipe:
 * ``"mixed"`` — every epoch mixes all tiers at fixed sampling ratios.
 * ``"finetune"`` — train on everything, then spend the final epochs on the
   highest tier only (the classic pretrain-cheap / finetune-exact recipe).
+* ``"adaptive"`` — validation-error-driven: start on the cheapest tier and
+  *promote* the next tier into the mix whenever the newest tier's validation
+  loss plateaus, instead of switching at fixed epoch fractions.
 
 The trainer applies a stage by building *fidelity-homogeneous* mini-batches
 (a batch never mixes tiers, which also keeps mixed cell-size datasets
 stackable), scaling each batch's loss by the tier's weight, and recording the
 per-tier sample counts, weights and losses in the
-:class:`~repro.train.trainer.TrainingHistory` epoch records.
+:class:`~repro.train.trainer.TrainingHistory` epoch records.  After each
+epoch the trainer feeds the finished epoch record back through
+:meth:`Curriculum.observe`, which is how the adaptive schedule sees the
+validation curve it reacts to.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+import numpy as np
 
 __all__ = [
     "CurriculumStage",
@@ -27,6 +35,7 @@ __all__ = [
     "MixedCurriculum",
     "WarmupCurriculum",
     "FinetuneCurriculum",
+    "AdaptiveCurriculum",
     "available_curricula",
     "make_curriculum",
 ]
@@ -90,6 +99,14 @@ class Curriculum:
     def stage(self, epoch: int, total_epochs: int) -> CurriculumStage:
         """The stage for ``epoch`` of a ``total_epochs``-epoch run."""
         raise NotImplementedError
+
+    def observe(self, record: dict) -> None:
+        """Receive the finished epoch record (losses, validation metrics).
+
+        Called by the trainer after every epoch, *after* evaluation.  The
+        epoch-fraction schedules ignore it; the ``adaptive`` schedule uses it
+        to watch the validation curve and decide tier promotions.
+        """
 
     def _stage(self, active: dict[str, float]) -> CurriculumStage:
         return CurriculumStage(
@@ -180,10 +197,122 @@ class FinetuneCurriculum(Curriculum):
         return {**super().describe(), "finetune_fraction": self.finetune_fraction}
 
 
+class AdaptiveCurriculum(Curriculum):
+    """Validation-error-driven tier promotion: open the next tier on plateau.
+
+    Training starts on the first (cheapest) fidelity alone.  After every
+    epoch the trainer hands the finished epoch record to :meth:`observe`; the
+    curriculum watches the *newest active tier's* validation error
+    (``test_n_l2_<fid>``, falling back to the overall ``test_n_l2``, the
+    tier's train loss, then the overall train loss — so it degrades
+    gracefully when no validation set is attached) and, once the monitored
+    value has not improved by at least ``min_improvement`` (relative) for
+    ``patience`` consecutive epochs, *promotes* the next tier into the mix.
+    Promotion epochs are recorded in :attr:`promotions`.
+
+    Unlike ``warmup``/``finetune``, the schedule never needs the total epoch
+    count to be right: a model that masters the cheap tier quickly gets exact
+    data early, a slow one is not starved of cheap data by a fixed fraction.
+
+    Examples
+    --------
+    >>> curriculum = AdaptiveCurriculum(("low", "high"), patience=2)
+    >>> curriculum.stage(0, 10).sample_fractions
+    {'low': 1.0}
+    >>> for epoch in range(4):                 # flat validation curve ...
+    ...     curriculum.observe({"test_n_l2": 0.5})
+    >>> curriculum.stage(4, 10).sample_fractions  # ... promotes "high"
+    {'low': 1.0, 'high': 1.0}
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        fidelities=("low", "high"),
+        patience: int = 3,
+        min_improvement: float = 0.01,
+        loss_weights=None,
+    ):
+        super().__init__(fidelities, loss_weights)
+        if patience < 1:
+            raise ValueError(f"patience must be at least 1, got {patience}")
+        if min_improvement < 0.0:
+            raise ValueError(
+                f"min_improvement must be non-negative, got {min_improvement}"
+            )
+        self.patience = int(patience)
+        self.min_improvement = float(min_improvement)
+        self._level = 0
+        self._best = float("inf")
+        self._stall = 0
+        self._epochs_seen = 0
+        #: Epoch indices (0-based, as seen by ``observe``) where a tier was
+        #: promoted into the mix, parallel to the promoted tier names.
+        self.promotions: list[tuple[int, str]] = []
+
+    @property
+    def active_fidelities(self) -> tuple[str, ...]:
+        """The tiers currently in the training mix (cheapest first)."""
+        return self.fidelities[: self._level + 1]
+
+    def stage(self, epoch: int, total_epochs: int) -> CurriculumStage:
+        return self._stage({f: 1.0 for f in self.active_fidelities})
+
+    def _monitored_value(self, record: dict) -> float | None:
+        newest = self.active_fidelities[-1]
+        for key in (
+            f"test_n_l2_{newest}",
+            "test_n_l2",
+            f"test_mae_{newest}",
+            "test_mae",
+            f"train_loss_{newest}",
+            "train_loss",
+        ):
+            value = record.get(key)
+            if value is not None and np.isfinite(value):
+                return float(value)
+        return None
+
+    def observe(self, record: dict) -> None:
+        self._epochs_seen += 1
+        value = self._monitored_value(record)
+        if value is None:
+            return
+        if value < self._best * (1.0 - self.min_improvement):
+            self._best = value
+            self._stall = 0
+            return
+        self._stall += 1
+        if self._stall >= self.patience and self._level < len(self.fidelities) - 1:
+            self._level += 1
+            self.promotions.append((self._epochs_seen - 1, self.fidelities[self._level]))
+            # The promoted tier starts a fresh plateau watch.
+            self._best = float("inf")
+            self._stall = 0
+
+    def reset(self) -> None:
+        """Back to the cheapest tier (for reusing one instance across runs)."""
+        self._level = 0
+        self._best = float("inf")
+        self._stall = 0
+        self._epochs_seen = 0
+        self.promotions = []
+
+    def describe(self) -> dict:
+        return {
+            **super().describe(),
+            "patience": self.patience,
+            "min_improvement": self.min_improvement,
+            "promotions": [list(p) for p in self.promotions],
+        }
+
+
 _CURRICULA = {
     "mixed": MixedCurriculum,
     "warmup": WarmupCurriculum,
     "finetune": FinetuneCurriculum,
+    "adaptive": AdaptiveCurriculum,
 }
 
 
@@ -193,7 +322,11 @@ def available_curricula() -> list[str]:
 
 
 def make_curriculum(name: str, fidelities=("low", "high"), **kwargs) -> Curriculum:
-    """Instantiate a curriculum by name (``"warmup"``, ``"mixed"``, ``"finetune"``)."""
+    """Instantiate a curriculum by name.
+
+    ``"warmup"``, ``"mixed"`` and ``"finetune"`` schedule by epoch fraction;
+    ``"adaptive"`` promotes tiers when the validation error plateaus.
+    """
     key = name.lower().strip()
     if key not in _CURRICULA:
         raise ValueError(f"unknown curriculum {name!r}; available: {available_curricula()}")

@@ -17,12 +17,17 @@ class NormalizedL2Loss:
 
     ``L = mean_b ||pred_b - target_b|| / ||target_b||`` — the training loss and
     evaluation metric used throughout the paper (``N-L2norm``).
+
+    :meth:`per_sample` exposes the pre-reduction ``(batch,)`` vector; the
+    trainer uses it to apply per-sample loss weights (acquisition weights from
+    active learning) without changing the unweighted loss definition.
     """
 
     def __init__(self, eps: float = 1e-8):
         self.eps = eps
 
-    def __call__(self, pred: Tensor, target: Tensor) -> Tensor:
+    def per_sample(self, pred: Tensor, target: Tensor) -> Tensor:
+        """The ``(batch,)`` vector of per-sample normalized L2 distances."""
         target = Tensor.ensure(target)
         if pred.shape != target.shape:
             raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
@@ -31,7 +36,10 @@ class NormalizedL2Loss:
         target_flat = target.reshape(batch, -1)
         num = ((diff * diff).sum(axis=1) + self.eps).sqrt()
         den = ((target_flat * target_flat).sum(axis=1) + self.eps).sqrt()
-        return (num / den).mean()
+        return num / den
+
+    def __call__(self, pred: Tensor, target: Tensor) -> Tensor:
+        return self.per_sample(pred, target).mean()
 
 
 class NMSELoss:
@@ -40,7 +48,8 @@ class NMSELoss:
     def __init__(self, eps: float = 1e-8):
         self.eps = eps
 
-    def __call__(self, pred: Tensor, target: Tensor) -> Tensor:
+    def per_sample(self, pred: Tensor, target: Tensor) -> Tensor:
+        """The ``(batch,)`` vector of per-sample normalized squared errors."""
         target = Tensor.ensure(target)
         if pred.shape != target.shape:
             raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
@@ -49,17 +58,25 @@ class NMSELoss:
         target_flat = target.reshape(batch, -1)
         num = (diff * diff).sum(axis=1)
         den = (target_flat * target_flat).sum(axis=1) + self.eps
-        return (num / den).mean()
+        return num / den
+
+    def __call__(self, pred: Tensor, target: Tensor) -> Tensor:
+        return self.per_sample(pred, target).mean()
 
 
 class MSELoss:
     """Plain mean-squared error (useful for scalar regression heads)."""
 
-    def __call__(self, pred: Tensor, target: Tensor) -> Tensor:
+    def per_sample(self, pred: Tensor, target: Tensor) -> Tensor:
+        """The ``(batch,)`` vector of per-sample mean squared errors."""
         if pred.shape != target.shape:
             raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
-        diff = pred - target
-        return (diff * diff).mean()
+        batch = pred.shape[0] if pred.ndim > 0 else 1
+        diff = (pred - target).reshape(batch, -1)
+        return (diff * diff).mean(axis=1)
+
+    def __call__(self, pred: Tensor, target: Tensor) -> Tensor:
+        return self.per_sample(pred, target).mean()
 
 
 def _sparse_matvec(matrix: sp.spmatrix, x: Tensor) -> Tensor:

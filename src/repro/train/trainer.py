@@ -84,10 +84,34 @@ class Trainer:
     curriculum:
         Optional multi-fidelity schedule — a
         :class:`~repro.train.curriculum.Curriculum` instance or a name
-        (``"warmup"``, ``"mixed"``, ``"finetune"``; the fidelity order is
-        inferred from the data).  None trains on everything every epoch.
+        (``"warmup"``, ``"mixed"``, ``"finetune"``, ``"adaptive"``; the
+        fidelity order is inferred from the data).  None trains on everything
+        every epoch.
     learning_rate, weight_decay, batch_size, epochs:
         The usual optimization hyper-parameters.
+
+    Notes
+    -----
+    If the data source carries non-uniform per-sample weights
+    (``sample_weight_array()``, stamped by active-learning acquisition), each
+    batch's loss becomes the weighted mean of the per-sample losses — heavily
+    weighted samples pull harder on every gradient step.
+
+    Examples
+    --------
+    Stream shard artifacts into a curriculum-scheduled training run::
+
+        loader = ShardDataLoader.from_directory("shards", fidelities=("low", "high"))
+        train, test = loader.split(0.8, rng=0)
+        trainer = Trainer(
+            make_model("fno", width=16, modes=(6, 6), depth=3, rng=0),
+            data=train,
+            test_set=test,
+            curriculum="adaptive",
+            epochs=30,
+        )
+        history = trainer.train()
+        history.curve("test_n_l2")   # one value per epoch, NaN-padded
     """
 
     def __init__(
@@ -141,12 +165,60 @@ class Trainer:
                     "they would be silently excluded from every epoch"
                 )
         self.curriculum = curriculum
-        # Scalar targets are precomputed once: rebuilding the transmission
-        # array from per-sample attribute access per batch per epoch is pure
-        # overhead (the labels never change during training).
+        self._bind_data_arrays()
+        # Per-tier validation views: the adaptive curriculum watches
+        # test_n_l2_<fid>, and multi-fidelity histories are more readable
+        # with the per-tier validation curve alongside the per-tier train
+        # loss.  Built once — restrict()/filter() are cheap index views.
+        self._test_views: dict[str, object] = {}
+        if curriculum is not None and test_set is not None and len(test_set):
+            test_fidelities = tuple(
+                dict.fromkeys(str(f) for f in test_set.fidelity_array())
+            )
+            if len(test_fidelities) > 1:
+                for fidelity in test_fidelities:
+                    restrict = getattr(test_set, "restrict", None)
+                    if restrict is not None:
+                        view = restrict(fidelities=[fidelity])
+                    else:
+                        view = test_set.filter(lambda s, f=fidelity: s.fidelity == f)
+                    self._test_views[fidelity] = view
+
+    def _bind_data_arrays(self) -> None:
+        """Snapshot the index-aligned per-sample arrays of the training data.
+
+        Called at construction *and* at every :meth:`train` start: a
+        streaming loader can grow in between (``ShardDataLoader.refresh()``
+        after an active-learning acquisition), and the snapshots must cover —
+        and carry the weights of — the current index range.
+        """
+        # Scalar targets are precomputed once per training run: rebuilding
+        # the transmission array per batch per epoch is pure overhead (the
+        # labels never change during a run).
         self._transmission_targets = (
-            np.asarray(train_set.transmission_array()) if target == "transmission" else None
+            np.asarray(self.train_set.transmission_array())
+            if self.target == "transmission"
+            else None
         )
+        # Per-sample loss weights (active-learning acquisition scores) ride
+        # in the data source; only a non-uniform vector activates the
+        # weighted path, so unweighted runs stay bit-identical to before.
+        weights = getattr(self.train_set, "sample_weight_array", None)
+        weights = np.asarray(weights()) if weights is not None else None
+        if weights is not None and np.any(weights != 1.0):
+            if np.any(~(weights > 0.0)):
+                raise ValueError(
+                    "sample weights must be positive (muting a sample is a "
+                    "data-selection decision, not a zero weight)"
+                )
+            if not hasattr(self.loss, "per_sample"):
+                raise ValueError(
+                    f"training data carries per-sample weights but the loss "
+                    f"{type(self.loss).__name__} has no per_sample() method"
+                )
+            self._sample_weights = weights
+        else:
+            self._sample_weights = None
 
     def _data_fidelities(self) -> tuple[str, ...]:
         """Distinct fidelities of the training data, in order of appearance.
@@ -221,6 +293,9 @@ class Trainer:
     # -- training -------------------------------------------------------------------
     def train(self, verbose: bool = False) -> TrainingHistory:
         """Run the full training loop and return the history."""
+        # Re-snapshot targets/weights: the data source may have grown since
+        # construction (or the previous train() call).
+        self._bind_data_arrays()
         for epoch in range(self.epochs):
             self.model.train()
             epoch_losses = []
@@ -231,8 +306,20 @@ class Trainer:
                 if self.target == "transmission":
                     targets = self._transmission_targets[indices]
                 prediction = self.model(Tensor(inputs))
-                loss = self.loss(prediction, Tensor(targets))
-                raw_loss = loss.item()
+                if self._sample_weights is not None:
+                    # Weighted mean of the per-sample losses: sample weights
+                    # shift each sample's pull on the gradient, the weighted
+                    # normalization keeps the loss scale comparable across
+                    # batches with different weight mass.
+                    per_sample = self.loss.per_sample(prediction, Tensor(targets))
+                    batch_weights = self._sample_weights[indices]
+                    loss = (per_sample * batch_weights).sum() * (
+                        1.0 / float(batch_weights.sum())
+                    )
+                    raw_loss = float(np.mean(per_sample.data))
+                else:
+                    loss = self.loss(prediction, Tensor(targets))
+                    raw_loss = loss.item()
                 if weight != 1.0:
                     loss = loss * weight
                 self.optimizer.zero_grad()
@@ -252,8 +339,30 @@ class Trainer:
                 record[f"loss_weight_{fidelity}"] = float(fidelity_weights[fidelity])
             record.update({f"train_{k}": v for k, v in self.evaluate(self.train_set).items()})
             if self.test_set is not None and len(self.test_set):
-                record.update({f"test_{k}": v for k, v in self.evaluate(self.test_set).items()})
+                if self._test_views:
+                    # The per-tier views partition the test set, so the
+                    # aggregate metric is their sample-count-weighted mean —
+                    # every test sample is evaluated exactly once per epoch.
+                    totals: dict[str, float] = {}
+                    count = 0
+                    for view_fidelity, view in self._test_views.items():
+                        metrics = self.evaluate(view)
+                        record.update(
+                            {f"test_{k}_{view_fidelity}": v for k, v in metrics.items()}
+                        )
+                        for key, value in metrics.items():
+                            totals[key] = totals.get(key, 0.0) + value * len(view)
+                        count += len(view)
+                    record.update({f"test_{k}": v / count for k, v in totals.items()})
+                else:
+                    record.update(
+                        {f"test_{k}": v for k, v in self.evaluate(self.test_set).items()}
+                    )
             self.history.append(record)
+            if self.curriculum is not None:
+                # Feed the finished epoch back: the adaptive curriculum uses
+                # the validation curve to decide tier promotions.
+                self.curriculum.observe(record)
             if verbose:
                 test_msg = (
                     f"  test N-L2 {record.get('test_n_l2', float('nan')):.4f}"

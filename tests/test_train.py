@@ -253,7 +253,7 @@ class TestTrainingHistory:
 
 class TestCurricula:
     def test_available(self):
-        assert available_curricula() == ["finetune", "mixed", "warmup"]
+        assert available_curricula() == ["adaptive", "finetune", "mixed", "warmup"]
         with pytest.raises(ValueError):
             make_curriculum("annealed")
 
@@ -401,3 +401,104 @@ class TestCurriculumTraining:
                 Trainer(model, data=data, curriculum=curriculum, **kwargs).train()
             )
         assert histories[0].epochs == histories[1].epochs
+
+
+class TestAdaptiveCurriculum:
+    """The validation-error-driven schedule: promote tiers on plateau."""
+
+    def make(self, **kwargs):
+        from repro.train import AdaptiveCurriculum
+
+        defaults = dict(fidelities=("low", "high"), patience=2, min_improvement=0.05)
+        defaults.update(kwargs)
+        return AdaptiveCurriculum(**defaults)
+
+    def test_starts_on_cheapest_tier(self):
+        curriculum = self.make()
+        assert set(curriculum.stage(0, 10).sample_fractions) == {"low"}
+        assert curriculum.active_fidelities == ("low",)
+
+    def test_plateau_promotes_next_tier(self):
+        curriculum = self.make(patience=2)
+        curriculum.observe({"test_n_l2": 0.5})     # baseline
+        curriculum.observe({"test_n_l2": 0.5})     # stall 1
+        assert curriculum.active_fidelities == ("low",)
+        curriculum.observe({"test_n_l2": 0.499})   # < 5% better: stall 2 -> promote
+        assert curriculum.active_fidelities == ("low", "high")
+        assert set(curriculum.stage(3, 10).sample_fractions) == {"low", "high"}
+        assert [fid for _, fid in curriculum.promotions] == ["high"]
+
+    def test_improvement_resets_the_plateau_watch(self):
+        curriculum = self.make(patience=2)
+        curriculum.observe({"test_n_l2": 0.5})
+        curriculum.observe({"test_n_l2": 0.5})     # stall 1
+        curriculum.observe({"test_n_l2": 0.4})     # real improvement: reset
+        curriculum.observe({"test_n_l2": 0.4})     # stall 1 again
+        assert curriculum.active_fidelities == ("low",)
+
+    def test_monitors_newest_tier_then_falls_back(self):
+        curriculum = self.make(patience=1)
+        # Per-tier validation beats the aggregate when both are present.
+        curriculum.observe({"test_n_l2_low": 0.5, "test_n_l2": 123.0})
+        curriculum.observe({"test_n_l2_low": 0.5, "test_n_l2": 0.001})
+        assert curriculum.active_fidelities == ("low", "high")
+        # Without any validation keys the train loss drives the watch.
+        fallback = self.make(patience=1)
+        fallback.observe({"train_loss": 1.0})
+        fallback.observe({"train_loss": 1.0})
+        assert fallback.active_fidelities == ("low", "high")
+
+    def test_promotion_stops_at_the_last_tier(self):
+        curriculum = self.make(patience=1)
+        for _ in range(6):
+            curriculum.observe({"test_n_l2": 1.0})
+        assert curriculum.active_fidelities == ("low", "high")
+        assert len(curriculum.promotions) == 1
+
+    def test_reset(self):
+        curriculum = self.make(patience=1)
+        curriculum.observe({"test_n_l2": 1.0})
+        curriculum.observe({"test_n_l2": 1.0})
+        curriculum.reset()
+        assert curriculum.active_fidelities == ("low",)
+        assert curriculum.promotions == []
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError, match="patience"):
+            self.make(patience=0)
+        with pytest.raises(ValueError, match="min_improvement"):
+            self.make(min_improvement=-0.1)
+
+    def test_describe_records_promotions(self):
+        import json
+
+        curriculum = self.make(patience=1)
+        curriculum.observe({"test_n_l2": 1.0})
+        curriculum.observe({"test_n_l2": 1.0})
+        payload = json.loads(json.dumps(curriculum.describe()))
+        assert payload["promotions"] == [[1, "high"]]
+
+    def test_trainer_integration_promotes_and_records_per_tier_val(
+        self, tiny_shard_run
+    ):
+        """End to end: the trainer feeds epoch records back, the curriculum
+        promotes mid-run, and per-tier validation metrics appear."""
+        from repro.data.dataset import split_dataset
+
+        _, _, merged = tiny_shard_run
+        train, test = split_dataset(merged, train_fraction=0.7, rng=0)
+        model = make_model("fno", width=8, modes=(3, 3), depth=2, rng=0)
+        # min_improvement=0.9 means nothing ever counts as improving, so the
+        # promotion fires deterministically after `patience` epochs.
+        curriculum = self.make(patience=1, min_improvement=0.9)
+        history = Trainer(
+            model, train, test_set=test, epochs=4, batch_size=3, seed=0,
+            curriculum=curriculum,
+        ).train()
+        first, last = history.epochs[0], history.epochs[-1]
+        assert "samples_low" in first and "samples_high" not in first
+        assert "samples_high" in last
+        assert curriculum.promotions and curriculum.promotions[0][1] == "high"
+        # Multi-fidelity validation: per-tier curves recorded every epoch.
+        assert "test_n_l2_low" in first and "test_n_l2_high" in first
+        assert np.isfinite(history.curve("test_n_l2_high")).all()
