@@ -33,6 +33,7 @@ from repro.data.labels import RichLabels
 from repro.data.sampling import DesignSample, SamplingStrategy, make_sampler
 from repro.data.shards import (
     ShardTask,
+    attach_factorization_store,
     engine_for_fidelity,
     engine_tag,
     plan_shards,
@@ -62,6 +63,15 @@ class GeneratorConfig:
     global design ids of the run — active-learning loops use it to append new
     designs to an existing shard directory without colliding with the ids
     already there.
+
+    ``factorization_store`` names a directory shared by every worker (and by
+    later runs): each worker's factorization cache falls through to it, so the
+    pool factorizes each distinct operator once *total* instead of once per
+    worker — see :class:`~repro.service.FileFactorizationStore`.  Store-mapped
+    factorizations reproduce fresh ones to solver accuracy (not bit-for-bit),
+    so leave it unset when exact byte-level reproducibility across store
+    states matters more than throughput.  Shard fingerprints deliberately
+    exclude it: attaching a store never invalidates resumable artifacts.
 
     Examples
     --------
@@ -98,6 +108,7 @@ class GeneratorConfig:
     shard_dir: str | None = None
     resume: bool = True
     design_id_offset: int = 0
+    factorization_store: str | None = None
 
 
 class DatasetGenerator:
@@ -230,7 +241,19 @@ class DatasetGenerator:
             # but labels come back in memory (no compress/decompress detour).
             for task in pending:
                 task.return_labels = True
-        outputs = run_tasks(run_shard, pending, workers=num_workers)
+        initializer, initargs = None, ()
+        if config.factorization_store:
+            # Warm every worker (or, serially, this process) from the shared
+            # store; fresh factorizations publish back through the same path.
+            initializer = attach_factorization_store
+            initargs = (str(config.factorization_store),)
+        outputs = run_tasks(
+            run_shard,
+            pending,
+            workers=num_workers,
+            initializer=initializer,
+            initargs=initargs,
+        )
         for task, output in zip(pending, outputs):
             if isinstance(output, str):
                 loaded = try_load_shard(output, task.fingerprint)
@@ -378,6 +401,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--shard-dir", default=None, help="directory for resumable shard artifacts"
     )
     parser.add_argument(
+        "--factorization-store",
+        default=None,
+        help=(
+            "directory of a cross-process factorization store shared by all "
+            "workers (and by later runs over the same devices)"
+        ),
+    )
+    parser.add_argument(
         "--resume",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -414,6 +445,7 @@ def main(argv: list[str] | None = None) -> int:
         shard_size=args.shard_size,
         shard_dir=args.shard_dir,
         resume=args.resume,
+        factorization_store=args.factorization_store,
     )
     generator = DatasetGenerator(config)
     start = time.perf_counter()

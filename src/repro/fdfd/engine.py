@@ -20,6 +20,9 @@ the fidelity tier:
   iteration counts creep up.
 * ``"neural"`` — a trained surrogate registered by
   :mod:`repro.surrogate.neural_solver` (see :class:`NeuralEngine` there).
+* ``"service"`` — the coalescing async front-end registered by
+  :mod:`repro.service.solve_service`: requests from concurrent call sites
+  are micro-batched into single ``solve_batch`` calls on a backing tier.
 
 Engines are stateless with respect to the problem: all per-operator state
 lives in the process-wide :class:`FactorizationCache`, keyed by the grid, the
@@ -40,6 +43,7 @@ import hashlib
 import inspect
 import itertools
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -227,10 +231,50 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: In-memory misses that a cross-process store satisfied / failed to.
+    store_hits: int = 0
+    store_misses: int = 0
+    #: Estimated bytes held by the entries currently cached.
+    current_bytes: int = 0
 
     @property
     def factorizations(self) -> int:
-        return self.misses
+        # An in-memory miss satisfied by the store maps an existing artifact
+        # instead of building a factorization.
+        return self.misses - self.store_hits
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+            "current_bytes": self.current_bytes,
+            "factorizations": self.factorizations,
+        }
+
+
+def _entry_nbytes(entry) -> int:
+    """Best-effort byte estimate of a cached factorization.
+
+    Entries declaring ``nbytes`` (store artifacts) are exact; SuperLU/ILU
+    objects are estimated from their factor ``nnz`` (complex data plus an
+    index per stored entry); anything else counts as 0 rather than guessing.
+    """
+    explicit = getattr(entry, "nbytes", None)
+    if isinstance(explicit, (int, np.integer)):
+        return int(explicit)
+    total = 0
+    for part in entry if isinstance(entry, tuple) else (entry,):
+        data = getattr(part, "data", None)
+        if isinstance(data, np.ndarray):  # assembled sparse matrices
+            total += data.nbytes + getattr(part, "indices", data).nbytes
+            continue
+        nnz = getattr(part, "nnz", None)
+        if nnz is not None:  # SuperLU-likes: 16B complex value + 4B index
+            total += int(nnz) * 20
+    return total
 
 
 class FactorizationCache:
@@ -251,20 +295,69 @@ class FactorizationCache:
                                 build=lambda: splu(A.tocsc()), tag="direct")
         cache.stats.hits, cache.stats.misses   # factorize-once, solve-many
         cache.evict(grid, omega, fingerprint)  # e.g. after in-place eps edits
+
+    The cache is safe to share between threads: a lock guards the LRU
+    bookkeeping, while builds (and store round-trips) deliberately run
+    *outside* it so a slow factorization never serializes unrelated
+    operators.  Two threads racing one cold key may therefore both build —
+    last insert wins; both entries solve the same operator.  (Collapsing
+    that duplicated work is what :class:`~repro.service.SolveService`
+    request coalescing is for.)
+
+    Cross-process fall-through: a cache may carry a
+    :class:`~repro.service.FileFactorizationStore` (the ``store``
+    constructor argument, :meth:`attach_store`, or process-wide via
+    ``REPRO_FACTORIZATION_STORE=<dir>``).  An in-memory miss then tries the
+    store before building — mapping a persisted artifact instead of
+    refactorizing — and a fresh build is published back, so factorizations
+    survive process death and are shared across worker pools.
     """
 
-    def __init__(self, maxsize: int | None = None):
+    def __init__(self, maxsize: int | None = None, store=None):
         if maxsize is None:
             maxsize = int(os.environ.get("REPRO_FACTORIZATION_CACHE_SIZE", "8"))
         if maxsize <= 0:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
         self.maxsize = maxsize
         self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._sizes: dict[tuple, int] = {}
         self.stats = CacheStats()
+        self._lock = threading.RLock()
+        self._store = store
+        self._env_store = None
 
     @staticmethod
     def _key(grid: Grid, omega: float, fingerprint: str, tag: str) -> tuple:
         return (grid, float(omega), fingerprint, tag)
+
+    # -- cross-process store plumbing -------------------------------------------
+    def attach_store(self, store) -> None:
+        """Attach (or with ``None``, detach) a cross-process store."""
+        with self._lock:
+            self._store = store
+            self._env_store = None
+
+    @property
+    def store(self):
+        """The attached store, resolving ``REPRO_FACTORIZATION_STORE`` lazily.
+
+        An explicitly attached store wins; otherwise a non-empty env var
+        names a directory and a :class:`FileFactorizationStore` over it is
+        created on first use (and re-created if the variable changes — cheap,
+        the store object holds no open handles).
+        """
+        with self._lock:
+            if self._store is not None:
+                return self._store
+            path = os.environ.get("REPRO_FACTORIZATION_STORE", "")
+            if not path:
+                self._env_store = None
+                return None
+            if self._env_store is None or str(self._env_store.directory) != path:
+                from repro.service.cache_store import FileFactorizationStore
+
+                self._env_store = FileFactorizationStore(path)
+            return self._env_store
 
     def get_or_build(
         self,
@@ -273,43 +366,87 @@ class FactorizationCache:
         fingerprint: str,
         build,
         tag: str = "direct",
+        store_payload=None,
     ):
-        """Return the cached entry for the key, building it on a miss."""
+        """Return the cached entry for the key, building it on a miss.
+
+        On an in-memory miss the attached store (if any) is consulted first;
+        only a store miss runs ``build``, whose result is then published back.
+        ``store_payload`` (a dict of named arrays, or a zero-argument callable
+        returning one — only invoked when a publish actually happens) rides
+        along in the published artifact; the recycled tier uses it to persist
+        reference permittivities next to their LUs.
+        """
         key = self._key(grid, omega, fingerprint, tag)
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return entry
-        self.stats.misses += 1
-        entry = build()
-        while len(self._entries) >= self.maxsize:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-        self._entries[key] = entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry
+            self.stats.misses += 1
+        store = self.store
+        entry = None
+        if store is not None:
+            entry = store.load(grid, omega, fingerprint, tag)
+            with self._lock:
+                if entry is not None:
+                    self.stats.store_hits += 1
+                else:
+                    self.stats.store_misses += 1
+        if entry is None:
+            entry = build()
+            if store is not None:
+                extras = store_payload() if callable(store_payload) else store_payload
+                store.publish(grid, omega, fingerprint, tag, entry, extras=extras)
+        self._insert(key, entry)
         return entry
+
+    def _insert(self, key: tuple, entry) -> None:
+        with self._lock:
+            if key in self._entries:  # lost a build race: last insert wins
+                self.stats.current_bytes -= self._sizes.pop(key, 0)
+                del self._entries[key]
+            while len(self._entries) >= self.maxsize:
+                stale, _ = self._entries.popitem(last=False)
+                self.stats.current_bytes -= self._sizes.pop(stale, 0)
+                self.stats.evictions += 1
+            size = _entry_nbytes(entry)
+            self._entries[key] = entry
+            self._sizes[key] = size
+            self.stats.current_bytes += size
 
     def peek(self, grid: Grid, omega: float, fingerprint: str, tag: str = "direct"):
         """Return a cached entry without building or touching LRU order."""
-        return self._entries.get(self._key(grid, omega, fingerprint, tag))
+        with self._lock:
+            return self._entries.get(self._key(grid, omega, fingerprint, tag))
 
     def evict(self, grid: Grid, omega: float, fingerprint: str, tag: str | None = None) -> int:
         """Drop entries for one operator (all tags unless one is given)."""
-        if tag is not None:
-            return 1 if self._entries.pop(self._key(grid, omega, fingerprint, tag), None) is not None else 0
-        prefix = (grid, float(omega), fingerprint)
-        stale = [key for key in self._entries if key[:3] == prefix]
-        for key in stale:
-            del self._entries[key]
-        return len(stale)
+        with self._lock:
+            if tag is not None:
+                key = self._key(grid, omega, fingerprint, tag)
+                if self._entries.pop(key, None) is None:
+                    return 0
+                self.stats.current_bytes -= self._sizes.pop(key, 0)
+                return 1
+            prefix = (grid, float(omega), fingerprint)
+            stale = [key for key in self._entries if key[:3] == prefix]
+            for key in stale:
+                del self._entries[key]
+                self.stats.current_bytes -= self._sizes.pop(key, 0)
+            return len(stale)
 
     def clear(self) -> None:
         """Drop every cached factorization and reset the statistics."""
-        self._entries.clear()
-        self.stats = CacheStats()
+        with self._lock:
+            self._entries.clear()
+            self._sizes.clear()
+            self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 default_factorization_cache = FactorizationCache()
@@ -730,9 +867,51 @@ class RecycledEngine(SolverEngine):
             self.stats.factorizations += 1
             return spla.splu(assemble_system_matrix(grid, omega, reference.eps).tocsc())
 
+        # The reference permittivity travels with the published LU so other
+        # processes can adopt the reference itself (see warm_from_store).
         return self.cache.get_or_build(
-            grid, omega, reference.fingerprint, build, tag="recycled"
+            grid,
+            omega,
+            reference.fingerprint,
+            build,
+            tag="recycled",
+            store_payload=lambda: {"eps": reference.eps},
         )
+
+    def warm_from_store(self, grid: Grid, omega: float, limit: int | None = None) -> int:
+        """Adopt recycled references other processes published to the store.
+
+        Reads the reference permittivities (newest first) that ride along in
+        ``"recycled"``-tagged artifacts of this ``(grid, omega)`` and installs
+        them as local references, up to ``limit`` (default ``max_references``)
+        and never evicting existing ones.  The heavy LU payloads are *not*
+        read here — they memory-map lazily through the cache fall-through when
+        a reference is first solved against.  Returns the number adopted;
+        0 when no store is attached.  This is the cross-process version of the
+        warm-up an optimization loop gets for free in-process: a fresh worker
+        starts recycling immediately instead of refactorizing first.
+        """
+        store = getattr(self.cache, "store", None)
+        if store is None:
+            return 0
+        references = self._references.setdefault((grid, float(omega)), OrderedDict())
+        budget = self.max_references if limit is None else int(limit)
+        adopted = 0
+        for fingerprint, eps in store.list_extras(
+            grid, omega, tag="recycled", name="eps", limit=budget
+        ):
+            if fingerprint in references or len(references) >= self.max_references:
+                continue
+            eps = np.asarray(eps).reshape(grid.shape)
+            reference = _RecycledReference(fingerprint, eps)
+            # Adopted references go to the cold end of the LRU: locally-made
+            # references (if any) describe this process's trajectory better.
+            references[fingerprint] = reference
+            references.move_to_end(fingerprint, last=False)
+            adopted += 1
+            if adopted >= budget:
+                break
+        return adopted
 
     @staticmethod
     def _nearest_reference(
@@ -953,7 +1132,13 @@ class CountingEngine(SolverEngine):
 
     @property
     def fidelity_signature(self) -> tuple:
-        return ("counting", *self.inner.fidelity_signature)
+        # Per-instance on purpose: counting wrappers exist to observe their
+        # own solves, so process-wide result caches must never serve a hit
+        # recorded through a *different* wrapper (or none) as this one's.
+        token = getattr(self, "_fidelity_token", None)
+        if token is None:
+            token = self._fidelity_token = next(_FIDELITY_TOKENS)
+        return ("counting", token, *self.inner.fidelity_signature)
 
     def solve_batch(self, grid, omega, eps_r, rhs, fingerprint=None, x0=None):
         if fingerprint is None:
@@ -1010,13 +1195,18 @@ def make_engine(name: str, **kwargs) -> SolverEngine:
     """
     key, spec = split_engine_name(name)
     if key not in _ENGINE_FACTORIES:
-        # The surrogate package registers the "neural" tier on import; do it
-        # lazily so plain FDFD users never pay for (or depend on) the NN
-        # stack.  Also run it before reporting an unknown name, so the error
-        # message lists every tier that actually exists.
+        # The surrogate package registers the "neural" tier on import, and
+        # the service package the "service" tier; do it lazily so plain FDFD
+        # users never pay for (or depend on) those stacks.  Also run it
+        # before reporting an unknown name, so the error message lists every
+        # tier that actually exists.
         try:
             import repro.surrogate.neural_solver  # noqa: F401
         except ImportError:  # pragma: no cover - NN stack unavailable
+            pass
+        try:
+            import repro.service.solve_service  # noqa: F401
+        except ImportError:  # pragma: no cover - service stack unavailable
             pass
     if key not in _ENGINE_FACTORIES:
         raise ValueError(f"unknown engine {name!r}; available: {available_engines()}")
@@ -1042,13 +1232,23 @@ def make_engine(name: str, **kwargs) -> SolverEngine:
 
 
 def resolve_engine(engine: SolverEngine | str | None, **kwargs) -> SolverEngine:
-    """Normalize an engine argument: instance, registry name or None (direct)."""
+    """Normalize an engine argument: instance, registry name or None (direct).
+
+    Objects exposing ``as_engine()`` (e.g. :class:`~repro.service.SolveService`)
+    are accepted too, so a configured service drops in anywhere an engine
+    does: ``Simulation(engine=my_service)``.
+    """
     if engine is None:
         return DirectEngine(**kwargs)
     if isinstance(engine, str):
         return make_engine(engine, **kwargs)
     if isinstance(engine, SolverEngine):
         return engine
+    as_engine = getattr(engine, "as_engine", None)
+    if callable(as_engine):
+        candidate = as_engine()
+        if isinstance(candidate, SolverEngine):
+            return candidate
     raise TypeError(f"engine must be a SolverEngine, a name or None; got {type(engine)!r}")
 
 

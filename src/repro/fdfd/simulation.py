@@ -12,12 +12,23 @@ All linear solves go through the pluggable engine layer
 factorize-once/solve-many call; normalization runs share the same process-wide
 factorization cache, so repeated simulations of the same feeding waveguide are
 back-substitutions rather than fresh factorizations.
+
+On top of the factorization sharing, fully *identical* queries — same design
+fingerprint, excitation spec, wavelength, port geometry and engine fidelity —
+are served from a process-wide result cache without touching the solver at
+all (sized by ``REPRO_RESULT_CACHE_SIZE``; see :func:`result_cache_stats`).
+That is the serving-side memoization layer: a fleet of clients replaying the
+same foundry-PDK device, or the label extractor re-walking a dataset, pays
+for each distinct query once per process.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -37,19 +48,95 @@ from repro.fdfd.solver import FdfdSolver, FieldSolution
 # lets them all share one computation.  Bounded LRU; entries are tiny floats.
 _NORMALIZATION_CACHE: OrderedDict[tuple, tuple[float, complex]] = OrderedDict()
 _NORMALIZATION_CACHE_MAX = 256
+_NORMALIZATION_CACHE_LOCK = threading.Lock()
 
 
 def _normalization_cache_get(key: tuple) -> tuple[float, complex] | None:
-    entry = _NORMALIZATION_CACHE.get(key)
-    if entry is not None:
-        _NORMALIZATION_CACHE.move_to_end(key)
-    return entry
+    with _NORMALIZATION_CACHE_LOCK:
+        entry = _NORMALIZATION_CACHE.get(key)
+        if entry is not None:
+            _NORMALIZATION_CACHE.move_to_end(key)
+        return entry
 
 
 def _normalization_cache_put(key: tuple, value: tuple[float, complex]) -> None:
-    while len(_NORMALIZATION_CACHE) >= _NORMALIZATION_CACHE_MAX:
-        _NORMALIZATION_CACHE.popitem(last=False)
-    _NORMALIZATION_CACHE[key] = value
+    with _NORMALIZATION_CACHE_LOCK:
+        while len(_NORMALIZATION_CACHE) >= _NORMALIZATION_CACHE_MAX:
+            _NORMALIZATION_CACHE.popitem(last=False)
+        _NORMALIZATION_CACHE[key] = value
+
+
+# Process-wide cache of complete solve results, keyed end-to-end: design
+# fingerprint, excitation spec (port, mode, explicit-source digest, monitor
+# set), wavelength/grid, port geometry and the engine's fidelity signature.
+# Entries are full SimulationResults (field maps included), so the default
+# capacity is deliberately modest; serving deployments with memory to spare
+# raise REPRO_RESULT_CACHE_SIZE, and 0 disables the cache entirely.  Entries
+# are copied on both store and hit — callers may mutate what they receive
+# without corrupting what later callers are served.
+_RESULT_CACHE: OrderedDict[tuple, "SimulationResult"] = OrderedDict()
+_RESULT_CACHE_LOCK = threading.Lock()
+_RESULT_CACHE_HITS = 0
+_RESULT_CACHE_MISSES = 0
+
+
+def _result_cache_maxsize() -> int:
+    """Capacity of the result cache (``REPRO_RESULT_CACHE_SIZE``, 0 disables)."""
+    return int(os.environ.get("REPRO_RESULT_CACHE_SIZE", "32"))
+
+
+def _copy_result(result: "SimulationResult") -> "SimulationResult":
+    return replace(
+        result,
+        ez=result.ez.copy(),
+        hx=result.hx.copy(),
+        hy=result.hy.copy(),
+        source=result.source.copy(),
+        fluxes=dict(result.fluxes),
+        s_params=dict(result.s_params),
+        transmissions=dict(result.transmissions),
+    )
+
+
+def _result_cache_get(key: tuple) -> "SimulationResult | None":
+    global _RESULT_CACHE_HITS, _RESULT_CACHE_MISSES
+    with _RESULT_CACHE_LOCK:
+        entry = _RESULT_CACHE.get(key)
+        if entry is None:
+            _RESULT_CACHE_MISSES += 1
+            return None
+        _RESULT_CACHE.move_to_end(key)
+        _RESULT_CACHE_HITS += 1
+        return _copy_result(entry)
+
+
+def _result_cache_put(key: tuple, result: "SimulationResult") -> None:
+    maxsize = _result_cache_maxsize()
+    if maxsize <= 0:
+        return
+    with _RESULT_CACHE_LOCK:
+        while len(_RESULT_CACHE) >= maxsize:
+            _RESULT_CACHE.popitem(last=False)
+        _RESULT_CACHE[key] = _copy_result(result)
+
+
+def result_cache_stats() -> dict:
+    """Hit/miss/size counters of the process-wide result cache."""
+    with _RESULT_CACHE_LOCK:
+        return {
+            "hits": _RESULT_CACHE_HITS,
+            "misses": _RESULT_CACHE_MISSES,
+            "size": len(_RESULT_CACHE),
+        }
+
+
+def clear_result_cache() -> None:
+    """Drop every cached result and reset the counters (tests, benchmarks)."""
+    global _RESULT_CACHE_HITS, _RESULT_CACHE_MISSES
+    with _RESULT_CACHE_LOCK:
+        _RESULT_CACHE.clear()
+        _RESULT_CACHE_HITS = 0
+        _RESULT_CACHE_MISSES = 0
 
 
 @dataclass
@@ -410,7 +497,8 @@ class Simulation:
         engines.  ``guess_keys`` (one hashable per excitation) defaults to
         ``(source_port, mode_index, wavelength)``; callers sharing one
         workspace across device states or corner variants must pass keys that
-        disambiguate them.
+        disambiguate them.  Workspace-driven solves bypass the result cache
+        (they belong to optimization loops, whose design changes every call).
 
         Returns the :class:`SimulationResult` per excitation, in order.
         """
@@ -429,11 +517,31 @@ class Simulation:
             return []
 
         # Validate the permittivity once (clears stale mode/normalization
-        # caches after in-place mutation), then solve every port mode the
-        # batch needs — sources and monitors alike — in one batched pass.
+        # caches after in-place mutation), then consult the end-to-end result
+        # cache: excitations whose complete query — design, spec, wavelength,
+        # port geometry, engine fidelity — was answered before skip the solver
+        # entirely.  Only the leftover subset is solved below.
         fingerprint = self._current_fingerprint()
+        use_cache = workspace is None and _result_cache_maxsize() > 0
+        cached: dict[int, SimulationResult] = {}
+        cache_keys: dict[int, tuple] = {}
+        if use_cache:
+            signature = self.solver.engine.fidelity_signature
+            for index, spec in enumerate(specs):
+                key = self._result_key(fingerprint, signature, spec)
+                cache_keys[index] = key
+                hit = _result_cache_get(key)
+                if hit is not None:
+                    cached[index] = hit
+        pending = [index for index in range(len(specs)) if index not in cached]
+        if not pending:
+            return [cached[index] for index in range(len(specs))]
+        pending_specs = [specs[index] for index in pending]
+
+        # Solve every port mode the batch needs — sources and monitors alike
+        # — in one batched pass.
         requests: dict[str, int] = {}
-        for spec in specs:
+        for spec in pending_specs:
             self._port(spec.source_port)
             if spec.source is None:
                 needed = spec.mode_index + 1
@@ -446,7 +554,7 @@ class Simulation:
         self._prepare_port_modes(requests)
 
         sources = []
-        for spec in specs:
+        for spec in pending_specs:
             if spec.source is None:
                 sources.append(self.mode_source(spec.source_port, spec.mode_index))
             else:
@@ -460,6 +568,7 @@ class Simulation:
         x0 = None
         keys = None
         if workspace is not None:
+            # use_cache is False here, so pending_specs is the full batch.
             keys = guess_keys
             if keys is None:
                 keys = [(spec.source_port, spec.mode_index, self.wavelength) for spec in specs]
@@ -476,10 +585,57 @@ class Simulation:
         if workspace is not None:
             for key, solution in zip(keys, solutions):
                 workspace.store(key, solution.ez)
-        return [
-            self._measure(spec, source, solution)
-            for spec, source, solution in zip(specs, sources, solutions)
-        ]
+
+        results: list[SimulationResult | None] = [None] * len(specs)
+        for index, result in cached.items():
+            results[index] = result
+        for index, spec, source, solution in zip(pending, pending_specs, sources, solutions):
+            result = self._measure(spec, source, solution)
+            if use_cache:
+                _result_cache_put(cache_keys[index], result)
+            results[index] = result
+        return results
+
+    def _result_key(self, fingerprint: str, signature: tuple, spec: ExcitationSpec) -> tuple:
+        """End-to-end cache key of one excitation against the current design.
+
+        Everything that shapes the :class:`SimulationResult` is keyed: the
+        design content, grid and wavelength, the engine fidelity signature
+        (a surrogate's answer must never be served as an exact one), the
+        excitation itself (explicit sources by content digest) and the
+        geometry of the source and monitor ports.
+        """
+        monitors = spec.monitor_ports
+        if monitors is None:
+            monitors = tuple(name for name in self.ports if name != spec.source_port)
+
+        def port_identity(name: str) -> tuple:
+            port = self._port(name)
+            return (
+                port.name,
+                port.normal_axis,
+                port.position,
+                port.center,
+                port.span,
+                port.direction,
+            )
+
+        if spec.source is None:
+            source_token = None
+        else:
+            source = np.ascontiguousarray(np.asarray(spec.source, dtype=complex))
+            source_token = hashlib.sha1(source.tobytes()).hexdigest()
+        return (
+            self.grid,
+            self.wavelength,
+            signature,
+            fingerprint,
+            spec.source_port,
+            spec.mode_index,
+            source_token,
+            port_identity(spec.source_port),
+            tuple(port_identity(name) for name in monitors),
+        )
 
     def _measure(
         self, spec: ExcitationSpec, source: np.ndarray, solution: FieldSolution

@@ -19,6 +19,13 @@ lives in the engine layer's shared :class:`~repro.fdfd.engine.FactorizationCache
 so independent solver instances working on the same operator reuse one
 factorization, and batched multi-RHS solves (:meth:`FdfdSolver.solve_batch`,
 :meth:`FdfdSolver.solve_adjoint_batch`) amortize it further.
+
+Served solves are one engine name away: ``FdfdSolver(..., engine="service")``
+routes every solve through the process-wide
+:class:`~repro.service.SolveService`, which micro-batches concurrently
+arriving requests (from any number of solver instances and threads) into
+single batched engine calls — and a :class:`~repro.service.SolveService`
+instance itself is accepted wherever an engine is.
 """
 
 from __future__ import annotations
@@ -65,6 +72,8 @@ class FdfdSolver:
     engine:
         Solver engine, engine name or None (exact direct solves).  The engine
         determines the fidelity tier; see :mod:`repro.fdfd.engine`.
+        ``"service"`` (or a :class:`~repro.service.SolveService` instance)
+        serves solves through the coalescing async front-end.
     """
 
     def __init__(self, grid: Grid, omega: float, engine: SolverEngine | str | None = None):

@@ -121,7 +121,7 @@ class Prefetcher:
         self.close()
 
 
-def run_tasks(fn, tasks, workers: int | None = 1):
+def run_tasks(fn, tasks, workers: int | None = 1, initializer=None, initargs=()):
     """Map ``fn`` over ``tasks``, preserving order.
 
     With ``workers`` resolved to more than one, tasks fan out over a
@@ -131,22 +131,37 @@ def run_tasks(fn, tasks, workers: int | None = 1):
     degrade to the serial in-process path, so ``fn`` must be idempotent.
     Exceptions raised by ``fn`` itself propagate in both modes: they re-raise
     from the futures and are never mistaken for pool failures.
+
+    ``initializer(*initargs)`` runs once per worker process before any task
+    (the generator uses it to attach the shared factorization store to each
+    worker's cache); the serial path runs it once in-process so both modes see
+    identically-prepared workers.  Initializer crashes in a pool surface as
+    ``BrokenExecutor`` and thus also degrade to the serial path — where the
+    same crash, if it reproduces, propagates undisguised.
     """
     tasks = list(tasks)
     workers = effective_workers(workers, len(tasks))
-    if workers <= 1 or len(tasks) <= 1:
+
+    def run_serial():
+        if initializer is not None:
+            initializer(*initargs)
         return [fn(task) for task in tasks]
-    executor = ProcessPoolExecutor(max_workers=workers)
+
+    if workers <= 1 or len(tasks) <= 1:
+        return run_serial()
+    executor = ProcessPoolExecutor(
+        max_workers=workers, initializer=initializer, initargs=tuple(initargs)
+    )
     try:
         try:
             # Worker spawn is lazy in CPython: submit() is where spawn
             # failures surface, distinct from errors fn raises later.
             futures = [executor.submit(fn, task) for task in tasks]
         except (OSError, PermissionError):  # pragma: no cover - spawn failure
-            return [fn(task) for task in tasks]
+            return run_serial()
         try:
             return [future.result() for future in futures]
         except BrokenExecutor:  # pragma: no cover - pool died mid-run
-            return [fn(task) for task in tasks]
+            return run_serial()
     finally:
         executor.shutdown(wait=True, cancel_futures=True)

@@ -1,0 +1,642 @@
+"""Tests for the solve service and the cross-process factorization store.
+
+Covers the serving seam end to end: artifact roundtrips and every
+corruption/failure path of :class:`FileFactorizationStore`, the cache
+fall-through (fresh cache + warm store solves without factorizing), recycled
+reference adoption, request coalescing bit-identity, the engine-shaped
+service front-end through :class:`Simulation`, the end-to-end result cache,
+and the pool-initializer plumbing the generator uses to share a store across
+worker processes.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro import constants
+from repro.fdfd import Grid, Port, Simulation
+from repro.fdfd.engine import (
+    CountingEngine,
+    DirectEngine,
+    FactorizationCache,
+    RecycledEngine,
+    assemble_system_matrix,
+    available_engines,
+    eps_fingerprint,
+    make_engine,
+    resolve_engine,
+)
+from repro.fdfd.simulation import clear_result_cache, result_cache_stats
+from repro.service import (
+    FileFactorizationStore,
+    ServiceEngine,
+    SolveService,
+    default_store_budget_bytes,
+)
+from repro.service.cache_store import StoredFactorization
+from repro.utils.parallel import run_tasks
+
+OMEGA = constants.wavelength_to_omega(1.55)
+
+
+def _tiny_waveguide(dl=0.1, domain=2.4, width=0.48):
+    npml = 8
+    n = int(domain / dl) + 2 * npml
+    grid = Grid(nx=n, ny=n, dl=dl, npml=npml)
+    eps = np.full(grid.shape, constants.EPS_SIO2)
+    y = grid.y_coords()
+    eps[:, np.abs(y - grid.size_y / 2) <= width / 2] = constants.EPS_SI
+    margin = (npml + 3) * dl
+    ports = [
+        Port("in", "x", position=margin, center=grid.size_y / 2, span=3 * width, direction=+1),
+        Port("out", "x", position=grid.size_x - margin, center=grid.size_y / 2, span=3 * width, direction=+1),
+    ]
+    return grid, eps, ports
+
+
+def _rhs_stack(grid, count, seed=0):
+    rng = np.random.default_rng(seed)
+    rhs = np.zeros((count, *grid.shape), dtype=complex)
+    for index in range(count):
+        ix = rng.integers(grid.npml + 2, grid.nx - grid.npml - 2)
+        iy = rng.integers(grid.npml + 2, grid.ny - grid.npml - 2)
+        rhs[index, ix, iy] = 1j * OMEGA
+    return rhs
+
+
+def _norm_close(a, b, rtol=1e-4):
+    scale = max(float(np.linalg.norm(b)), 1e-300)
+    return float(np.linalg.norm(np.asarray(a) - np.asarray(b))) <= rtol * scale
+
+
+@pytest.fixture()
+def tiny_problem():
+    grid, eps, _ = _tiny_waveguide()
+    return grid, eps, eps_fingerprint(eps)
+
+
+# --------------------------------------------------------------------------- #
+# artifact store
+# --------------------------------------------------------------------------- #
+class TestFileFactorizationStore:
+    def _published(self, tmp_path, grid, eps, fingerprint, **store_kwargs):
+        store = FileFactorizationStore(tmp_path, **store_kwargs)
+        lu = spla.splu(assemble_system_matrix(grid, OMEGA, eps).tocsc())
+        assert store.publish(grid, OMEGA, fingerprint, "direct", lu)
+        return store, lu
+
+    def test_roundtrip_reproduces_solves(self, tmp_path, tiny_problem):
+        grid, eps, fingerprint = tiny_problem
+        store, lu = self._published(tmp_path, grid, eps, fingerprint)
+        entry = store.load(grid, OMEGA, fingerprint, "direct")
+        assert isinstance(entry, StoredFactorization)
+        assert entry.from_store
+        rhs = _rhs_stack(grid, 2)
+        for b in rhs:
+            assert _norm_close(entry.solve(b.ravel()), lu.solve(b.ravel()))
+        # Stacked RHS solve matches per-column solves.
+        flat = rhs.reshape(2, -1).T
+        stacked = entry.solve(flat)
+        for col in range(2):
+            np.testing.assert_array_equal(stacked[:, col], entry.solve(flat[:, col]))
+        assert store.stats.hits == 1
+        assert store.stats.publishes == 1
+        assert len(store) == 1
+
+    def test_missing_artifact_is_a_miss(self, tmp_path, tiny_problem):
+        grid, _, fingerprint = tiny_problem
+        store = FileFactorizationStore(tmp_path)
+        assert store.load(grid, OMEGA, fingerprint, "direct") is None
+        assert store.stats.misses == 1
+        assert store.stats.failures == 0
+
+    def test_corrupt_header_is_a_miss(self, tmp_path, tiny_problem):
+        grid, eps, fingerprint = tiny_problem
+        store, _ = self._published(tmp_path, grid, eps, fingerprint)
+        path = store.path_for(grid, OMEGA, fingerprint, "direct")
+        path.write_bytes(b"not an artifact at all")
+        assert store.load(grid, OMEGA, fingerprint, "direct") is None
+        assert store.stats.failures == 1
+
+    def test_truncated_artifact_is_a_miss(self, tmp_path, tiny_problem):
+        grid, eps, fingerprint = tiny_problem
+        store, _ = self._published(tmp_path, grid, eps, fingerprint)
+        path = store.path_for(grid, OMEGA, fingerprint, "direct")
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        assert store.load(grid, OMEGA, fingerprint, "direct") is None
+        assert store.stats.failures == 1
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")  # scrambled factors overflow
+    def test_tampered_payload_fails_the_probe(self, tmp_path, tiny_problem):
+        """Structurally valid but numerically wrong factors are rejected."""
+        grid, eps, fingerprint = tiny_problem
+        store, _ = self._published(tmp_path, grid, eps, fingerprint)
+        path = store.path_for(grid, OMEGA, fingerprint, "direct")
+        blob = bytearray(path.read_bytes())
+        # Scramble a slab of the numeric payload without touching the header.
+        start = len(blob) // 2
+        blob[start : start + 4096] = os.urandom(4096)
+        path.write_bytes(bytes(blob))
+        assert store.load(grid, OMEGA, fingerprint, "direct") is None
+        assert store.stats.failures == 1
+
+    def test_engine_falls_back_to_fresh_factorization(self, tmp_path, tiny_problem):
+        """A corrupt artifact never poisons results — it costs one rebuild."""
+        grid, eps, fingerprint = tiny_problem
+        store, _ = self._published(tmp_path, grid, eps, fingerprint)
+        path = store.path_for(grid, OMEGA, fingerprint, "direct")
+        path.write_bytes(b"garbage")
+        rhs = _rhs_stack(grid, 2)
+        reference = DirectEngine(cache=FactorizationCache()).solve_batch(
+            grid, OMEGA, eps, rhs, fingerprint=fingerprint
+        )
+        cache = FactorizationCache(store=store)
+        result = DirectEngine(cache=cache).solve_batch(
+            grid, OMEGA, eps, rhs, fingerprint=fingerprint
+        )
+        np.testing.assert_array_equal(result, reference)
+        assert cache.stats.store_misses == 1
+        assert cache.stats.factorizations == 1
+        # The rebuild re-published a good artifact over the corrupt one.
+        assert store.load(grid, OMEGA, fingerprint, "direct") is not None
+
+    def test_store_entries_never_republished(self, tmp_path, tiny_problem):
+        grid, eps, fingerprint = tiny_problem
+        store, _ = self._published(tmp_path, grid, eps, fingerprint)
+        entry = store.load(grid, OMEGA, fingerprint, "direct")
+        assert store.publish(grid, OMEGA, fingerprint, "direct", entry) is False
+        assert store.stats.publishes == 1
+
+    def test_non_superlu_entries_declined(self, tmp_path, tiny_problem):
+        grid, _, fingerprint = tiny_problem
+        store = FileFactorizationStore(tmp_path)
+        assert store.publish(grid, OMEGA, fingerprint, "direct", object()) is False
+        assert store.stats.declined == 1
+        assert len(store) == 0
+
+    def test_concurrent_writers_do_not_clobber(self, tmp_path, tiny_problem):
+        """Atomic publish: racing writers all succeed, the artifact stays valid."""
+        grid, eps, fingerprint = tiny_problem
+        store = FileFactorizationStore(tmp_path)
+        lu = spla.splu(assemble_system_matrix(grid, OMEGA, eps).tocsc())
+        barrier = threading.Barrier(4)
+        outcomes = []
+
+        def writer():
+            barrier.wait()
+            outcomes.append(store.publish(grid, OMEGA, fingerprint, "direct", lu))
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert outcomes == [True] * 4
+        assert len(store) == 1
+        entry = store.load(grid, OMEGA, fingerprint, "direct")
+        assert entry is not None
+        b = _rhs_stack(grid, 1)[0].ravel()
+        assert _norm_close(entry.solve(b), lu.solve(b))
+        # No temporary files left behind.
+        assert not list(store.directory.glob(".*.tmp-*"))
+
+    def test_budget_prunes_oldest(self, tmp_path, tiny_problem):
+        grid, eps, fingerprint = tiny_problem
+        eps_b = eps * 1.01
+        fingerprint_b = eps_fingerprint(eps_b)
+        lu_a = spla.splu(assemble_system_matrix(grid, OMEGA, eps).tocsc())
+        lu_b = spla.splu(assemble_system_matrix(grid, OMEGA, eps_b).tocsc())
+        probe = FileFactorizationStore(tmp_path / "probe")
+        probe.publish(grid, OMEGA, fingerprint, "direct", lu_a)
+        artifact_bytes = probe.stats.bytes_written
+
+        store = FileFactorizationStore(tmp_path / "real", budget_bytes=int(artifact_bytes * 1.5))
+        store.publish(grid, OMEGA, fingerprint, "direct", lu_a)
+        time.sleep(0.01)  # distinct mtimes so pruning order is deterministic
+        store.publish(grid, OMEGA, fingerprint_b, "direct", lu_b)
+        assert len(store) == 1
+        assert store.stats.pruned == 1
+        assert store.load(grid, OMEGA, fingerprint_b, "direct") is not None
+        assert store.load(grid, OMEGA, fingerprint, "direct") is None
+
+    def test_budget_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FACTORIZATION_STORE_BYTES", "12345")
+        assert default_store_budget_bytes() == 12345
+        monkeypatch.setenv("REPRO_FACTORIZATION_STORE_BYTES", "0")
+        assert default_store_budget_bytes() == 0
+        monkeypatch.delenv("REPRO_FACTORIZATION_STORE_BYTES")
+        assert default_store_budget_bytes() == 1 << 30
+
+    def test_list_extras_newest_first(self, tmp_path, tiny_problem):
+        grid, eps, fingerprint = tiny_problem
+        eps_b = eps * 1.01
+        fingerprint_b = eps_fingerprint(eps_b)
+        store = FileFactorizationStore(tmp_path)
+        lu_a = spla.splu(assemble_system_matrix(grid, OMEGA, eps).tocsc())
+        lu_b = spla.splu(assemble_system_matrix(grid, OMEGA, eps_b).tocsc())
+        store.publish(grid, OMEGA, fingerprint, "recycled", lu_a, extras={"eps": eps})
+        time.sleep(0.01)
+        store.publish(grid, OMEGA, fingerprint_b, "recycled", lu_b, extras={"eps": eps_b})
+        extras = store.list_extras(grid, OMEGA, tag="recycled", name="eps")
+        assert [fp for fp, _ in extras] == [fingerprint_b, fingerprint]
+        np.testing.assert_array_equal(extras[0][1].reshape(grid.shape), eps_b)
+        limited = store.list_extras(grid, OMEGA, tag="recycled", name="eps", limit=1)
+        assert len(limited) == 1 and limited[0][0] == fingerprint_b
+        # Different tag: nothing.
+        assert store.list_extras(grid, OMEGA, tag="direct", name="eps") == []
+
+
+# --------------------------------------------------------------------------- #
+# cache fall-through
+# --------------------------------------------------------------------------- #
+class TestCacheFallThrough:
+    def test_warm_store_skips_factorization(self, tmp_path, tiny_problem):
+        """A fresh cache with a warm store solves without ever factorizing."""
+        grid, eps, fingerprint = tiny_problem
+        rhs = _rhs_stack(grid, 2)
+        store = FileFactorizationStore(tmp_path)
+        publisher_cache = FactorizationCache(store=store)
+        cold = DirectEngine(cache=publisher_cache).solve_batch(
+            grid, OMEGA, eps, rhs, fingerprint=fingerprint
+        )
+        assert store.stats.publishes == 1
+
+        fresh_cache = FactorizationCache(store=store)
+        warm = DirectEngine(cache=fresh_cache).solve_batch(
+            grid, OMEGA, eps, rhs, fingerprint=fingerprint
+        )
+        assert fresh_cache.stats.factorizations == 0
+        assert fresh_cache.stats.store_hits == 1
+        assert _norm_close(warm, cold)
+
+    def test_env_var_attaches_store(self, tmp_path, monkeypatch, tiny_problem):
+        grid, eps, fingerprint = tiny_problem
+        monkeypatch.setenv("REPRO_FACTORIZATION_STORE", str(tmp_path))
+        rhs = _rhs_stack(grid, 1)
+        cache = FactorizationCache()
+        DirectEngine(cache=cache).solve_batch(grid, OMEGA, eps, rhs, fingerprint=fingerprint)
+        assert cache.store is not None
+        assert len(list(tmp_path.glob("*.fact"))) == 1
+
+        second = FactorizationCache()
+        DirectEngine(cache=second).solve_batch(grid, OMEGA, eps, rhs, fingerprint=fingerprint)
+        assert second.stats.store_hits == 1
+        assert second.stats.factorizations == 0
+
+        monkeypatch.delenv("REPRO_FACTORIZATION_STORE")
+        assert cache.store is None
+
+    def test_attach_store_wins_over_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FACTORIZATION_STORE", str(tmp_path / "env"))
+        explicit = FileFactorizationStore(tmp_path / "explicit")
+        cache = FactorizationCache()
+        cache.attach_store(explicit)
+        assert cache.store is explicit
+        cache.attach_store(None)
+        assert str(cache.store.directory) == str(tmp_path / "env")
+
+    def test_cache_is_thread_safe_under_churn(self, tiny_problem):
+        """Concurrent get_or_build/evict/len never corrupt the bookkeeping."""
+        grid, eps, fingerprint = tiny_problem
+        cache = FactorizationCache(maxsize=4)
+        errors = []
+
+        def churn(seed):
+            try:
+                rng = np.random.default_rng(seed)
+                for i in range(25):
+                    fp = f"{fingerprint}-{rng.integers(6)}"
+                    cache.get_or_build(grid, OMEGA, fp, build=lambda: object())
+                    if i % 7 == 0:
+                        cache.evict(grid, OMEGA, fp)
+                    len(cache)
+            except Exception as error:  # pragma: no cover - the failure signal
+                errors.append(error)
+
+        threads = [threading.Thread(target=churn, args=(s,)) for s in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 4
+        stats = cache.stats.as_dict()
+        assert stats["misses"] >= stats["factorizations"]
+
+    def test_recycled_adopts_references_from_store(self, tmp_path, tiny_problem):
+        """A fresh recycled engine starts exact-solving from published references."""
+        grid, eps, fingerprint = tiny_problem
+        rhs = _rhs_stack(grid, 1)
+        store = FileFactorizationStore(tmp_path)
+        publisher = RecycledEngine(cache=FactorizationCache(store=store))
+        reference = publisher.solve_batch(grid, OMEGA, eps, rhs, fingerprint=fingerprint)
+        assert publisher.stats.factorizations == 1
+
+        fresh = RecycledEngine(cache=FactorizationCache(store=store))
+        assert fresh.warm_from_store(grid, OMEGA) == 1
+        result = fresh.solve_batch(grid, OMEGA, eps, rhs, fingerprint=fingerprint)
+        assert fresh.stats.factorizations == 0
+        assert fresh.stats.exact_solves == 1
+        assert _norm_close(result, reference)
+
+    def test_warm_from_store_without_store(self, tiny_problem):
+        grid, _, _ = tiny_problem
+        engine = RecycledEngine(cache=FactorizationCache())
+        assert engine.warm_from_store(grid, OMEGA) == 0
+
+
+# --------------------------------------------------------------------------- #
+# solve service
+# --------------------------------------------------------------------------- #
+class TestSolveService:
+    def test_coalesced_results_bit_identical_to_serial(self, tiny_problem):
+        grid, eps, fingerprint = tiny_problem
+        rhs = _rhs_stack(grid, 6)
+        serial = DirectEngine(cache=FactorizationCache()).solve_batch(
+            grid, OMEGA, eps, rhs, fingerprint=fingerprint
+        )
+        with SolveService(
+            engine=DirectEngine(cache=FactorizationCache()), window=0.02
+        ) as service:
+            futures = [
+                service.submit(grid, OMEGA, eps, rhs[i], fingerprint=fingerprint)
+                for i in range(6)
+            ]
+            results = [future.result(timeout=30) for future in futures]
+            assert service.engine.cache.stats.factorizations == 1
+            assert service.stats.coalesced_rhs >= 1
+        for i in range(6):
+            np.testing.assert_array_equal(results[i], serial[i])
+
+    def test_requests_group_by_operator(self, tiny_problem):
+        grid, eps, fingerprint = tiny_problem
+        eps_b = eps * 1.01
+        rhs = _rhs_stack(grid, 1)[0]
+        with SolveService(
+            engine=DirectEngine(cache=FactorizationCache()), window=0.02
+        ) as service:
+            future_a = service.submit(grid, OMEGA, eps, rhs, fingerprint=fingerprint)
+            future_b = service.submit(grid, OMEGA, eps_b, rhs)
+            a, b = future_a.result(timeout=30), future_b.result(timeout=30)
+            assert service.stats.batches == 2
+            assert service.engine.cache.stats.factorizations == 2
+        assert not np.array_equal(a, b)
+
+    def test_max_batch_flushes_without_waiting(self, tiny_problem):
+        grid, eps, fingerprint = tiny_problem
+        rhs = _rhs_stack(grid, 2)
+        # The window is far longer than the timeout: only the size trigger
+        # can flush in time.
+        with SolveService(
+            engine=DirectEngine(cache=FactorizationCache()), window=60.0, max_batch=2
+        ) as service:
+            futures = [
+                service.submit(grid, OMEGA, eps, rhs[i], fingerprint=fingerprint)
+                for i in range(2)
+            ]
+            for future in futures:
+                future.result(timeout=30)
+            assert service.stats.full_flushes == 1
+            assert service.stats.max_batch_seen == 2
+
+    def test_stacked_rhs_keeps_shape(self, tiny_problem):
+        grid, eps, fingerprint = tiny_problem
+        rhs = _rhs_stack(grid, 3)
+        with SolveService(engine=DirectEngine(cache=FactorizationCache())) as service:
+            stacked = service.solve(grid, OMEGA, eps, rhs, fingerprint=fingerprint)
+            single = service.solve(grid, OMEGA, eps, rhs[0], fingerprint=fingerprint)
+        assert stacked.shape == rhs.shape
+        assert single.shape == grid.shape
+        np.testing.assert_array_equal(stacked[0], single)
+
+    def test_engine_errors_propagate_to_every_waiter(self, tiny_problem):
+        grid, eps, fingerprint = tiny_problem
+
+        class Exploding(DirectEngine):
+            def solve_batch(self, *args, **kwargs):
+                raise RuntimeError("boom")
+
+        rhs = _rhs_stack(grid, 2)
+        with SolveService(engine=Exploding(cache=FactorizationCache()), window=0.02) as service:
+            futures = [
+                service.submit(grid, OMEGA, eps, rhs[i], fingerprint=fingerprint)
+                for i in range(2)
+            ]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="boom"):
+                    future.result(timeout=30)
+
+    def test_bad_rhs_shape_rejected(self, tiny_problem):
+        grid, eps, _ = tiny_problem
+        with SolveService(engine=DirectEngine(cache=FactorizationCache())) as service:
+            with pytest.raises(ValueError):
+                service.submit(grid, OMEGA, eps, np.zeros((3,), dtype=complex))
+
+    def test_close_fails_pending_and_rejects_new(self, tiny_problem):
+        grid, eps, fingerprint = tiny_problem
+        rhs = _rhs_stack(grid, 1)[0]
+        service = SolveService(
+            engine=DirectEngine(cache=FactorizationCache()), window=60.0
+        )
+        pending = service.submit(grid, OMEGA, eps, rhs, fingerprint=fingerprint)
+        service.close()
+        with pytest.raises(RuntimeError):
+            pending.result(timeout=10)
+        with pytest.raises(RuntimeError):
+            service.submit(grid, OMEGA, eps, rhs)
+        service.close()  # idempotent
+
+    def test_per_request_engine_override(self, tiny_problem):
+        grid, eps, fingerprint = tiny_problem
+        rhs = _rhs_stack(grid, 1)[0]
+        counting = CountingEngine()
+        with SolveService(engine=DirectEngine(cache=FactorizationCache())) as service:
+            service.solve(grid, OMEGA, eps, rhs, fingerprint=fingerprint, engine=counting)
+        assert counting.solve_log == [(fingerprint, 1)]
+
+
+# --------------------------------------------------------------------------- #
+# the service as an engine
+# --------------------------------------------------------------------------- #
+class TestServiceEngine:
+    def test_registered_in_engine_registry(self):
+        assert "service" in available_engines()
+        assert isinstance(make_engine("service"), ServiceEngine)
+
+    def test_as_engine_resolves(self, tiny_problem):
+        with SolveService(engine=DirectEngine(cache=FactorizationCache())) as service:
+            engine = resolve_engine(service.as_engine())
+            assert isinstance(engine, ServiceEngine)
+            assert engine.service is service
+            # A SolveService itself duck-types as an engine via as_engine().
+            assert resolve_engine(service).service is service
+
+    def test_fidelity_signature_matches_backing_engine(self):
+        backing = DirectEngine(cache=FactorizationCache())
+        with SolveService(engine=backing) as service:
+            assert service.as_engine().fidelity_signature == backing.fidelity_signature
+
+    def test_simulation_through_service_matches_direct(self):
+        grid, eps, ports = _tiny_waveguide()
+        direct = Simulation(grid, eps, 1.55, ports, engine=DirectEngine(cache=FactorizationCache()))
+        expected = direct.solve("in").transmissions["out"]
+        with SolveService(engine=DirectEngine(cache=FactorizationCache())) as service:
+            served = Simulation(grid, eps, 1.55, ports, engine=service.as_engine())
+            assert served.solve("in").transmissions["out"] == pytest.approx(expected, rel=1e-9)
+
+    def test_set_permittivity_still_evicts(self):
+        grid, eps, ports = _tiny_waveguide()
+        with SolveService(engine=DirectEngine(cache=FactorizationCache())) as service:
+            sim = Simulation(grid, eps, 1.55, ports, engine=service.as_engine())
+            sim.solve("in")
+            cache = service.engine.cache
+            assert len(cache) > 0
+            sim.set_permittivity(eps * 1.01)
+            sim.solve("in")
+            # Old operator evicted; the new one factorized.
+            assert cache.stats.factorizations == 2
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end result cache
+# --------------------------------------------------------------------------- #
+class TestResultCache:
+    def test_identical_query_served_from_cache(self):
+        grid, eps, ports = _tiny_waveguide()
+        counting = CountingEngine()
+        sim = Simulation(grid, eps, 1.55, ports, engine=counting)
+        first = sim.solve("in")
+        calls = len(counting.solve_log)
+        before = result_cache_stats()
+        second = sim.solve("in")
+        after = result_cache_stats()
+        assert len(counting.solve_log) == calls  # engine never consulted
+        assert after["hits"] == before["hits"] + 1
+        assert second.transmissions == first.transmissions
+        np.testing.assert_array_equal(second.ez, first.ez)
+
+    def test_cached_results_are_mutation_safe(self):
+        grid, eps, ports = _tiny_waveguide()
+        sim = Simulation(grid, eps, 1.55, ports)
+        first = sim.solve("in")
+        pristine = first.ez.copy()
+        first.ez[:] = 0
+        first.fluxes["out"] = -1.0
+        second = sim.solve("in")
+        np.testing.assert_array_equal(second.ez, pristine)
+        assert second.fluxes["out"] != -1.0
+
+    def test_different_query_misses(self):
+        grid, eps, ports = _tiny_waveguide()
+        counting = CountingEngine()
+        sim = Simulation(grid, eps, 1.55, ports, engine=counting)
+        sim.solve("in")
+        calls = len(counting.solve_log)
+        sim.solve("out")  # different source port: genuinely new work
+        assert len(counting.solve_log) > calls
+
+    def test_permittivity_change_misses(self):
+        grid, eps, ports = _tiny_waveguide()
+        counting = CountingEngine()
+        sim = Simulation(grid, eps, 1.55, ports, engine=counting)
+        ez_before = sim.solve("in").ez
+        calls = len(counting.solve_log)
+        sim.set_permittivity(eps * 1.02)
+        ez_after = sim.solve("in").ez
+        assert len(counting.solve_log) > calls
+        assert not np.array_equal(ez_after, ez_before)
+
+    def test_size_knob_disables_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_CACHE_SIZE", "0")
+        grid, eps, ports = _tiny_waveguide()
+        counting = CountingEngine()
+        sim = Simulation(grid, eps, 1.55, ports, engine=counting)
+        sim.solve("in")
+        calls = len(counting.solve_log)
+        sim.solve("in")
+        assert len(counting.solve_log) > calls
+        assert result_cache_stats()["size"] == 0
+
+    def test_lru_bounded_by_size_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_CACHE_SIZE", "1")
+        clear_result_cache()
+        grid, eps, ports = _tiny_waveguide()
+        sim = Simulation(grid, eps, 1.55, ports)
+        sim.solve("in")
+        sim.solve("out")
+        assert result_cache_stats()["size"] == 1
+
+    def test_distinct_counting_engines_never_share_hits(self):
+        """Per-instance fidelity tokens keep observing wrappers honest."""
+        grid, eps, ports = _tiny_waveguide()
+        first = CountingEngine()
+        Simulation(grid, eps, 1.55, ports, engine=first).solve("in")
+        second = CountingEngine()
+        Simulation(grid, eps, 1.55, ports, engine=second).solve("in")
+        assert second.solve_log  # not served from the first wrapper's entry
+
+
+# --------------------------------------------------------------------------- #
+# worker-pool plumbing
+# --------------------------------------------------------------------------- #
+def _read_marker(_task):
+    return os.environ.get("REPRO_TEST_INIT_MARKER", "")
+
+
+def _set_marker(value):
+    os.environ["REPRO_TEST_INIT_MARKER"] = value
+
+
+class TestRunTasksInitializer:
+    def test_serial_path_runs_initializer_in_process(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_INIT_MARKER", raising=False)
+        results = run_tasks(
+            _read_marker, [1, 2], workers=1, initializer=_set_marker, initargs=("ready",)
+        )
+        assert results == ["ready", "ready"]
+        monkeypatch.delenv("REPRO_TEST_INIT_MARKER", raising=False)
+
+    def test_pool_path_runs_initializer_per_worker(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_INIT_MARKER", raising=False)
+        results = run_tasks(
+            _read_marker, [1, 2], workers=2, initializer=_set_marker, initargs=("ready",)
+        )
+        # Pool workers each ran the initializer; if the pool could not spawn,
+        # the serial fallback ran it in-process — either way every task saw it.
+        assert results == ["ready", "ready"]
+        monkeypatch.delenv("REPRO_TEST_INIT_MARKER", raising=False)
+
+
+class TestGeneratorStoreWiring:
+    def test_generate_populates_the_store(self, tmp_path):
+        from repro.data.generator import GeneratorConfig, DatasetGenerator
+        from repro.fdfd.engine import default_factorization_cache
+
+        store_dir = tmp_path / "store"
+        config = GeneratorConfig(
+            device_name="bending",
+            strategy="random",
+            num_designs=2,
+            fidelities=("low",),
+            with_gradient=False,
+            seed=0,
+            device_kwargs=dict(domain=2.4, design_size=1.2, dl=0.1),
+            engine={"low": "direct"},
+            workers=1,
+            factorization_store=str(store_dir),
+        )
+        try:
+            dataset = DatasetGenerator(config).generate()
+        finally:
+            # The serial path attached the store to the process-default cache.
+            default_factorization_cache.attach_store(None)
+        assert len(dataset) == 2
+        assert len(list(store_dir.glob("*.fact"))) >= 1
