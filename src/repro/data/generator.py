@@ -33,7 +33,7 @@ from repro.data.labels import RichLabels
 from repro.data.sampling import DesignSample, SamplingStrategy, make_sampler
 from repro.data.shards import (
     ShardTask,
-    attach_factorization_store,
+    configure_worker,
     engine_for_fidelity,
     engine_tag,
     plan_shards,
@@ -44,6 +44,7 @@ from repro.data.shards import (
 )
 from repro.devices.factory import make_device
 from repro.fdfd.engine import SolverEngine, available_engines, split_engine_name
+from repro.utils import backend as array_backend
 from repro.utils.parallel import effective_workers, run_tasks
 from repro.utils.rng import get_rng
 
@@ -72,6 +73,12 @@ class GeneratorConfig:
     so leave it unset when exact byte-level reproducibility across store
     states matters more than throughput.  Shard fingerprints deliberately
     exclude it: attaching a store never invalidates resumable artifacts.
+
+    ``backend`` names the array backend every worker configures at startup
+    (``"numpy"``, ``"cupy"``, ``"torch"`` — see
+    :mod:`repro.utils.backend`).  It selects *where* dense array math runs,
+    not what it computes, so it is also excluded from shard fingerprints;
+    an unavailable backend fails at configuration time, not inside a worker.
 
     Examples
     --------
@@ -109,6 +116,7 @@ class GeneratorConfig:
     resume: bool = True
     design_id_offset: int = 0
     factorization_store: str | None = None
+    backend: str | None = None
 
 
 class DatasetGenerator:
@@ -125,6 +133,10 @@ class DatasetGenerator:
             config = replace(config, **overrides)
         self.config = config
         self._validate_engine()
+        if config.backend:
+            # Resolve eagerly: a mis-provisioned backend (bad name, missing
+            # stack) should fail here, not inside the first pool worker.
+            array_backend.get_backend(config.backend)
 
     def _validate_engine(self) -> None:
         """Fail fast on unknown engine names instead of inside a worker."""
@@ -242,11 +254,15 @@ class DatasetGenerator:
             for task in pending:
                 task.return_labels = True
         initializer, initargs = None, ()
-        if config.factorization_store:
-            # Warm every worker (or, serially, this process) from the shared
-            # store; fresh factorizations publish back through the same path.
-            initializer = attach_factorization_store
-            initargs = (str(config.factorization_store),)
+        if config.factorization_store or config.backend:
+            # Warm every worker (or, serially, this process): select the
+            # array backend, then attach the shared store so fresh
+            # factorizations publish back through the same path.
+            initializer = configure_worker
+            initargs = (
+                config.backend,
+                str(config.factorization_store) if config.factorization_store else None,
+            )
         outputs = run_tasks(
             run_shard,
             pending,
@@ -409,6 +425,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        choices=array_backend.backend_names(),
+        help=(
+            "array backend workers configure at startup (default: numpy, or "
+            "the REPRO_ARRAY_BACKEND environment variable)"
+        ),
+    )
+    parser.add_argument(
         "--resume",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -446,6 +471,7 @@ def main(argv: list[str] | None = None) -> int:
         shard_dir=args.shard_dir,
         resume=args.resume,
         factorization_store=args.factorization_store,
+        backend=args.backend,
     )
     generator = DatasetGenerator(config)
     start = time.perf_counter()

@@ -13,6 +13,11 @@ the fidelity tier:
   are triangular back-substitutions against the same LU).
 * :class:`IterativeEngine` — BiCGStab/GMRES with an incomplete-LU
   preconditioner: a cheap, approximate low-fidelity tier.
+* :class:`RefinedEngine` — mixed precision: the LU is factored in reduced
+  (fp32/complex64) precision — roughly half the factorization time and
+  memory — and fp64 accuracy is recovered by iterative refinement against
+  the full-precision operator.  Dense refinement math routes through the
+  array-backend seam (:mod:`repro.utils.backend`).
 * :class:`RecycledEngine` — the optimization-loop tier: keeps the exact LU of
   a *reference* permittivity and solves nearby permittivities (consecutive
   Adam iterates differ only on the operator diagonal) with LU-preconditioned
@@ -54,6 +59,7 @@ import scipy.sparse.linalg as spla
 from repro.constants import EPSILON_0, MU_0
 from repro.fdfd.derivatives import derivative_operators
 from repro.fdfd.grid import Grid
+from repro.utils import backend as array_backend
 
 __all__ = [
     "eps_fingerprint",
@@ -68,9 +74,14 @@ __all__ = [
     "SolverEngine",
     "DirectEngine",
     "IterativeEngine",
+    "RefinedEngine",
+    "RefineStats",
     "RecycledEngine",
     "RecycleStats",
     "CountingEngine",
+    "precision_dtype",
+    "dtype_cache_tag",
+    "mixed_precision_refine",
     "register_engine",
     "available_engines",
     "split_engine_name",
@@ -536,6 +547,252 @@ class SolveWorkspace:
 
 
 # --------------------------------------------------------------------------- #
+# mixed precision: reduced-precision factorizations + fp64 refinement
+# --------------------------------------------------------------------------- #
+#: Accepted ``precision=`` spellings and the complex factor dtype they mean.
+_PRECISION_ALIASES = {
+    "fp64": np.complex128,
+    "double": np.complex128,
+    "float64": np.complex128,
+    "complex128": np.complex128,
+    "fp32": np.complex64,
+    "single": np.complex64,
+    "float32": np.complex64,
+    "complex64": np.complex64,
+}
+
+
+def precision_dtype(precision) -> np.dtype:
+    """Normalize a precision spec to the complex dtype factorizations use.
+
+    Accepts the ``fp64``/``fp32`` (and ``double``/``single``, real or complex
+    NumPy dtype name) spellings used by engine constructors, configs and the
+    CLI.  Only the two complex LAPACK precisions exist, so anything else is a
+    hard error rather than a silent fp64 fallback.
+    """
+    if isinstance(precision, str):
+        key = precision.lower().strip()
+        if key not in _PRECISION_ALIASES:
+            raise ValueError(
+                f"unknown precision {precision!r}; expected one of "
+                f"{sorted(_PRECISION_ALIASES)}"
+            )
+        return np.dtype(_PRECISION_ALIASES[key])
+    dtype = np.dtype(precision)
+    if dtype.name in _PRECISION_ALIASES:
+        return np.dtype(_PRECISION_ALIASES[dtype.name])
+    raise ValueError(f"unsupported factorization dtype {dtype.name!r}")
+
+
+def dtype_cache_tag(base: str, dtype) -> str:
+    """Cache/store tag for factorizations of ``dtype`` under a base tag.
+
+    Full precision keeps the bare base tag (existing fp64 artifacts stay
+    valid); reduced precisions get a dtype-suffixed namespace, so fp32 and
+    fp64 factorizations of the same operator can never collide in the
+    :class:`FactorizationCache` or in a store directory.  The dtype goes in
+    the *tag*, not the fingerprint: store consumers parse raw permittivity
+    fingerprints back out of artifact filenames (``list_extras``), which a
+    fingerprint suffix would corrupt.
+    """
+    dtype = precision_dtype(dtype)
+    if dtype == np.dtype(np.complex128):
+        return base
+    return f"{base}-{dtype.name}"
+
+
+class _PrecisionLU:
+    """A SuperLU factorization of the row-equilibrated reduced-precision operator.
+
+    Wraps the fp32 SuperLU together with the fp64 row-equilibration scale:
+    the factored matrix is ``D A`` with ``D = diag(1/max_j |A_ij|)``, computed
+    *before* the downcast — FDFD operator entries span ~1e17–1e20, close
+    enough to fp32's ~3.4e38 ceiling that pivot growth inside an unscaled
+    factorization can overflow, and equilibration also tightens the
+    refinement contraction rate.  ``solve`` applies the scale and casts into
+    the factor dtype, so it approximates ``A^{-1} b`` directly (solving
+    ``(D A) x = D b`` needs no unscaling of ``x``).
+
+    Exposes the SuperLU artifact surface (``L``/``U``/``perm_r``/``perm_c``/
+    ``shape``/``nnz``/``solve``) so :class:`FileFactorizationStore` persists
+    and probe-validates it like any exact LU; the scale rides along as a
+    store extra (see :func:`_factor_apply`).
+    """
+
+    __slots__ = ("lu", "row_scale", "dtype")
+
+    from_store = False
+
+    def __init__(self, lu: spla.SuperLU, row_scale: np.ndarray):
+        self.lu = lu
+        self.row_scale = np.ascontiguousarray(row_scale, dtype=np.float64)
+        self.dtype = np.dtype(lu.L.dtype)
+
+    # -- SuperLU artifact surface ------------------------------------------------
+    @property
+    def L(self):
+        return self.lu.L
+
+    @property
+    def U(self):
+        return self.lu.U
+
+    @property
+    def perm_r(self):
+        return self.lu.perm_r
+
+    @property
+    def perm_c(self):
+        return self.lu.perm_c
+
+    @property
+    def shape(self):
+        return self.lu.shape
+
+    @property
+    def nnz(self) -> int:
+        return int(self.lu.L.nnz + self.lu.U.nnz)
+
+    @property
+    def nbytes(self) -> int:
+        itemsize = self.dtype.itemsize
+        return int(self.nnz * (itemsize + 4) + self.row_scale.nbytes)
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Reduced-precision approximation of ``A^{-1} b`` (column RHS layout)."""
+        b = np.asarray(b)
+        scaled = self.row_scale[:, None] * b if b.ndim == 2 else self.row_scale * b
+        # SuperLU's "safe" casting refuses complex128 RHS against a complex64
+        # factorization; the downcast is the point of this tier.
+        return self.lu.solve(scaled.astype(self.dtype, copy=False))
+
+    def factor_solve(self, b: np.ndarray) -> np.ndarray:
+        """Back-substitution on the *equilibrated* system, no row scaling.
+
+        This is what a store artifact reconstructs (only the factors are
+        persisted; the scale rides as an extra), so the publish-time probe
+        self-check compares against this, not :meth:`solve`.
+        """
+        return self.lu.solve(np.asarray(b).astype(self.dtype, copy=False))
+
+
+def _build_precision_lu(grid: Grid, omega: float, eps_r: np.ndarray, dtype):
+    """Factor ``A(eps_r)`` in ``dtype``: plain SuperLU at fp64, equilibrated below."""
+    dtype = precision_dtype(dtype)
+    matrix = assemble_system_matrix(grid, omega, eps_r)
+    if dtype == np.dtype(np.complex128):
+        return spla.splu(matrix.tocsc())
+    row_max = np.abs(matrix).max(axis=1).toarray().ravel()
+    row_scale = 1.0 / np.maximum(row_max, np.finfo(np.float64).tiny)
+    scaled = sp.diags(row_scale) @ matrix
+    return _PrecisionLU(spla.splu(scaled.astype(dtype).tocsc()), row_scale)
+
+
+def _factor_apply(entry):
+    """A ``b -> approx A^{-1} b`` callable from a live or store-mapped entry.
+
+    Live :class:`_PrecisionLU` objects (and exact SuperLUs) already apply
+    their own equilibration.  Store-mapped reduced-precision artifacts hold
+    the *equilibrated* factors with the scale riding as the ``row_scale``
+    extra, so the scale is re-applied around the mapped triangular solves
+    here.  Accepts both 1-D and column-matrix right-hand sides, like
+    ``SuperLU.solve``.
+    """
+    extras = getattr(entry, "extras", None) or {}
+    row_scale = extras.get("row_scale") if getattr(entry, "from_store", False) else None
+    if row_scale is None:
+        return entry.solve
+    row_scale = np.asarray(row_scale, dtype=np.float64).ravel()
+
+    def apply(b: np.ndarray) -> np.ndarray:
+        b = np.asarray(b)
+        scaled = row_scale[:, None] * b if b.ndim == 2 else row_scale * b
+        return entry.solve(scaled)
+
+    return apply
+
+
+def mixed_precision_refine(
+    matrix: sp.csr_matrix,
+    apply_inverse,
+    rhs: np.ndarray,
+    rtol: float = 1e-10,
+    max_sweeps: int = 20,
+    x0: np.ndarray | None = None,
+    backend=None,
+) -> tuple[np.ndarray, int, int]:
+    """Iterative refinement: fp64 residuals, reduced-precision corrections.
+
+    The classic Wilkinson loop over a flat RHS stack ``(n_rhs, n)``::
+
+        r = b - A x          # true residual, fp64 operator
+        x += A~^{-1} r       # correction through the reduced-precision LU
+
+    until every ``||r|| <= rtol * ||b||``.  ``apply_inverse`` takes a column
+    matrix (``(n, k)``) like ``SuperLU.solve``; the residuals are *true* fp64
+    residuals (one sparse matvec per sweep) — unlike the matvec-free
+    recurrence of :meth:`RecycledEngine._refine_solve`, which is only valid
+    when corrections come from an exact fp64 LU.  Dense vector arithmetic
+    runs on the array backend (``backend``, default process backend): the
+    NumPy path is literal NumPy at zero conversion cost, while GPU backends
+    keep the iterate/residual stacks on device between the host-side sparse
+    calls.
+
+    Returns ``(x, sweeps, back_substitutions)``.  Raises ``RuntimeError``
+    when refinement stops contracting or the sweep budget runs out — a
+    reduced-precision tier must fail loudly, never return silently degraded
+    fields.
+    """
+    if not isinstance(backend, array_backend.ArrayBackend):
+        backend = array_backend.get_backend(backend)
+    xp = backend.xp
+    flat = np.asarray(rhs, dtype=np.complex128)
+    if flat.ndim != 2:
+        raise ValueError(f"rhs must be a flat stack (n_rhs, n); got shape {flat.shape}")
+    b_norms = np.linalg.norm(flat, axis=1)
+    tol = float(rtol) * np.maximum(b_norms, np.finfo(np.float64).tiny)
+    if x0 is None:
+        x = np.zeros_like(flat)
+        residual = flat.copy()
+    else:
+        x = np.array(x0, dtype=np.complex128).reshape(flat.shape)
+        residual = flat - (matrix @ x.T).T
+    norms = np.linalg.norm(residual, axis=1)
+    sweeps = 0
+    back_substitutions = 0
+    while True:
+        active = norms > tol
+        if not active.any():
+            return x, sweeps, back_substitutions
+        if sweeps >= max_sweeps:
+            raise RuntimeError(
+                f"mixed-precision refinement did not reach rtol={rtol} in "
+                f"{max_sweeps} sweeps (worst relative residual "
+                f"{float(np.max(norms / np.maximum(b_norms, 1e-300))):.3e})"
+            )
+        correction = np.asarray(apply_inverse(residual[active].T)).T
+        # Dense axpy on the backend namespace; host<->device bridging is the
+        # identity for NumPy.
+        updated = xp.add(
+            backend.asarray(x[active]), backend.asarray(correction, dtype=np.complex128)
+        )
+        x[active] = backend.to_numpy(updated)
+        residual[active] = flat[active] - (matrix @ x[active].T).T
+        new_norms = backend.to_numpy(
+            xp.linalg.norm(backend.asarray(residual[active]), None, 1)
+        )
+        if np.all(new_norms >= norms[active]) and np.any(new_norms > tol[active]):
+            raise RuntimeError(
+                "mixed-precision refinement stopped contracting "
+                f"(residual {float(new_norms.max()):.3e}); the reduced-precision "
+                "factorization does not precondition this operator"
+            )
+        norms[active] = new_norms
+        back_substitutions += int(active.sum())
+        sweeps += 1
+
+
+# --------------------------------------------------------------------------- #
 # engines
 # --------------------------------------------------------------------------- #
 _FIDELITY_TOKENS = itertools.count()
@@ -751,6 +1008,118 @@ class IterativeEngine(SolverEngine):
 
 
 @dataclass
+class RefineStats:
+    """What a :class:`RefinedEngine` actually did, for tests and benchmarks."""
+
+    factorizations: int = 0
+    solves: int = 0
+    sweeps: int = 0
+    back_substitutions: int = 0
+
+
+class RefinedEngine(SolverEngine):
+    """Mixed-precision tier: reduced-precision LU, fp64 iterative refinement.
+
+    The factorization — the expensive, memory-bound step of a direct solve —
+    runs in complex64 (on a row-equilibrated operator, see
+    :class:`_PrecisionLU`), which halves factor memory and substantially cuts
+    factorization time even on CPU.  Full fp64 accuracy is then recovered by
+    :func:`mixed_precision_refine`: each sweep is one multi-RHS fp32
+    back-substitution plus one fp64 sparse matvec, and the loop terminates on
+    the *true* fp64 relative residual, so results match :class:`DirectEngine`
+    to ``rtol`` — a converged-or-raise contract, never silent fp32 fields.
+
+    This is the CPU template the future GPU tier reuses: the dense refinement
+    arithmetic already routes through the array-backend seam
+    (:mod:`repro.utils.backend`, the ``backend=`` knob), and swapping the
+    host SuperLU calls for device triangular solves is the only missing
+    piece.  ``precision="fp64"`` degenerates to an exact direct solve (the
+    first sweep's residual meets any reasonable ``rtol``), which is what
+    makes the precision knob safe to plumb through configs unconditionally.
+
+    Factorizations live in the shared :class:`FactorizationCache` under the
+    dtype-suffixed tag (``"refined-complex64"``), so fp32 and fp64 LUs of the
+    same operator never collide, in memory or in a
+    :class:`~repro.service.FileFactorizationStore` directory.
+    """
+
+    name = "refined"
+    supports_warm_start = True
+
+    def __init__(
+        self,
+        precision: str = "fp32",
+        rtol: float = 1e-10,
+        max_sweeps: int = 20,
+        backend=None,
+        cache: FactorizationCache | None = None,
+    ):
+        self.dtype = precision_dtype(precision)
+        self.rtol = float(rtol)
+        self.max_sweeps = int(max_sweeps)
+        self.backend = (
+            backend
+            if isinstance(backend, array_backend.ArrayBackend)
+            else array_backend.get_backend(backend)
+        )
+        self.cache = cache if cache is not None else default_factorization_cache
+        self.stats = RefineStats()
+        self._tag = dtype_cache_tag("refined", self.dtype)
+
+    @property
+    def fidelity_signature(self) -> tuple:
+        # Refined solves are rtol-converged in fp64: results depend on the
+        # factor dtype and the refinement tolerance, nothing per-instance.
+        return (self.name, self.dtype.name, self.rtol)
+
+    def factorize(
+        self, grid: Grid, omega: float, eps_r: np.ndarray, fingerprint: str | None = None
+    ):
+        """The reduced-precision LU, shared (and persisted) through the cache."""
+        if fingerprint is None:
+            fingerprint = eps_fingerprint(eps_r)
+        built: list = []
+
+        def build():
+            self.stats.factorizations += 1
+            built.append(_build_precision_lu(grid, omega, eps_r, self.dtype))
+            return built[-1]
+
+        def payload():
+            # Only invoked when a publish follows a fresh build; the
+            # equilibration scale must travel with the equilibrated factors.
+            if built and isinstance(built[-1], _PrecisionLU):
+                return {"row_scale": built[-1].row_scale}
+            return None
+
+        return self.cache.get_or_build(
+            grid, omega, fingerprint, build, tag=self._tag, store_payload=payload
+        )
+
+    def solve_batch(self, grid, omega, eps_r, rhs, fingerprint=None, x0=None):
+        eps_r, rhs = self._check_batch(grid, eps_r, rhs)
+        if fingerprint is None:
+            fingerprint = eps_fingerprint(eps_r)
+        entry = self.factorize(grid, omega, eps_r, fingerprint)
+        matrix = assemble_system_matrix(grid, omega, eps_r)
+        flat = rhs.reshape(rhs.shape[0], -1)
+        guess = None if x0 is None else np.asarray(x0, dtype=complex).reshape(flat.shape)
+        x, sweeps, back_substitutions = mixed_precision_refine(
+            matrix,
+            _factor_apply(entry),
+            flat,
+            rtol=self.rtol,
+            max_sweeps=self.max_sweeps,
+            x0=guess,
+            backend=self.backend,
+        )
+        self.stats.solves += rhs.shape[0]
+        self.stats.sweeps += sweeps
+        self.stats.back_substitutions += back_substitutions
+        return x.reshape(rhs.shape)
+
+
+@dataclass
 class RecycleStats:
     """What a :class:`RecycledEngine` actually did, for tests and benchmarks."""
 
@@ -815,6 +1184,14 @@ class RecycledEngine(SolverEngine):
     further.  Reference LUs live in the shared :class:`FactorizationCache`
     under the ``"recycled"`` tag, so ``Simulation.set_permittivity`` eviction
     and cache-size limits apply to them like to any other factorization.
+
+    ``precision="fp32"`` factors the reference LUs in complex64 (see
+    :class:`RefinedEngine`): cheaper and smaller factorizations at the cost
+    of extra refinement sweeps, with every path still converging on the true
+    fp64 residual to ``rtol`` — exact-fingerprint hits included, which are a
+    single back-substitution only at full precision.  fp32 references are
+    cached and persisted under a dtype-suffixed tag so they never collide
+    with fp64 ones.
     """
 
     name = "recycled"
@@ -829,6 +1206,7 @@ class RecycledEngine(SolverEngine):
         drift_threshold: float = 0.1,
         max_krylov: int = 6,
         max_references: int = 4,
+        precision: str = "fp64",
         cache: FactorizationCache | None = None,
     ):
         if method not in ("auto", "bicgstab", "gmres"):
@@ -844,6 +1222,8 @@ class RecycledEngine(SolverEngine):
         self.drift_threshold = float(drift_threshold)
         self.max_krylov = int(max_krylov)
         self.max_references = int(max_references)
+        self.dtype = precision_dtype(precision)
+        self._tag = dtype_cache_tag("recycled", self.dtype)
         self.cache = cache if cache is not None else default_factorization_cache
         self._references: dict[tuple, OrderedDict[str, _RecycledReference]] = {}
         self._scratch: dict[tuple, sp.csr_matrix] = {}
@@ -853,29 +1233,43 @@ class RecycledEngine(SolverEngine):
     def fidelity_signature(self) -> tuple:
         # Recycled solves are exact on reference hits but rtol-converged in
         # between; identically-configured recycled engines may share results.
-        return (self.name, self.method, self.rtol)
+        # The factor dtype extends the signature only off the fp64 default,
+        # so existing fp64 result-cache keys stay stable.
+        if self.dtype == np.dtype(np.complex128):
+            return (self.name, self.method, self.rtol)
+        return (self.name, self.method, self.rtol, self.dtype.name)
 
     # -- reference bookkeeping --------------------------------------------------
-    def _lu(self, grid: Grid, omega: float, reference: _RecycledReference) -> spla.SuperLU:
+    def _lu(self, grid: Grid, omega: float, reference: _RecycledReference):
         """The reference LU, shared (and evictable) through the cache.
 
         Counting factorizations here (not in :meth:`_refactorize`) keeps the
         stats truthful when an evicted reference LU has to be rebuilt.
         """
+        built: list = []
 
         def build():
             self.stats.factorizations += 1
-            return spla.splu(assemble_system_matrix(grid, omega, reference.eps).tocsc())
+            built.append(_build_precision_lu(grid, omega, reference.eps, self.dtype))
+            return built[-1]
 
-        # The reference permittivity travels with the published LU so other
-        # processes can adopt the reference itself (see warm_from_store).
+        def payload():
+            # The reference permittivity travels with the published LU so
+            # other processes can adopt the reference itself (see
+            # warm_from_store); reduced-precision factors also need their
+            # equilibration scale.
+            extras = {"eps": reference.eps}
+            if built and isinstance(built[-1], _PrecisionLU):
+                extras["row_scale"] = built[-1].row_scale
+            return extras
+
         return self.cache.get_or_build(
             grid,
             omega,
             reference.fingerprint,
             build,
-            tag="recycled",
-            store_payload=lambda: {"eps": reference.eps},
+            tag=self._tag,
+            store_payload=payload,
         )
 
     def warm_from_store(self, grid: Grid, omega: float, limit: int | None = None) -> int:
@@ -898,7 +1292,7 @@ class RecycledEngine(SolverEngine):
         budget = self.max_references if limit is None else int(limit)
         adopted = 0
         for fingerprint, eps in store.list_extras(
-            grid, omega, tag="recycled", name="eps", limit=budget
+            grid, omega, tag=self._tag, name="eps", limit=budget
         ):
             if fingerprint in references or len(references) >= self.max_references:
                 continue
@@ -940,6 +1334,31 @@ class RecycledEngine(SolverEngine):
         solutions = lu.solve(rhs.reshape(rhs.shape[0], -1).T)
         return np.ascontiguousarray(solutions.T).reshape(rhs.shape)
 
+    def _reference_solve(
+        self, grid: Grid, omega: float, reference: _RecycledReference, rhs: np.ndarray
+    ) -> np.ndarray:
+        """Solve at the reference permittivity itself against its own LU.
+
+        At fp64 this is one exact back-substitution.  With a reduced-precision
+        reference LU a bare back-substitution only carries fp32 accuracy, so
+        the solution is refined against the true fp64 operator to ``rtol`` —
+        the contract (converged or exact) is precision-independent.
+        """
+        entry = self._lu(grid, omega, reference)
+        if self.dtype == np.dtype(np.complex128):
+            return self._back_substitute(entry, rhs)
+        matrix = self._system_matrix(grid, omega, reference.eps)
+        flat = rhs.reshape(rhs.shape[0], -1)
+        x, _, back_substitutions = mixed_precision_refine(
+            matrix,
+            _factor_apply(entry),
+            flat,
+            rtol=self.rtol,
+            max_sweeps=self.max_sweeps,
+        )
+        self.stats.krylov_iterations += back_substitutions
+        return x.reshape(rhs.shape)
+
     def _refactorize(
         self,
         references: OrderedDict[str, _RecycledReference],
@@ -953,8 +1372,8 @@ class RecycledEngine(SolverEngine):
         references[fingerprint] = reference
         while len(references) > self.max_references:
             stale_fp, _ = references.popitem(last=False)
-            self.cache.evict(grid, omega, stale_fp, tag="recycled")
-        return self._back_substitute(self._lu(grid, omega, reference), rhs)
+            self.cache.evict(grid, omega, stale_fp, tag=self._tag)
+        return self._reference_solve(grid, omega, reference, rhs)
 
     def _refine_solve(
         self,
@@ -977,8 +1396,19 @@ class RecycledEngine(SolverEngine):
         sweep cap reports failure (``(None, inf)``) so the caller can fall
         back to Krylov or refactorize.  Solutions are converged to
         ``||b - A x|| <= rtol * ||b||`` — same contract as the Krylov path.
+
+        The matvec-free recurrence is only valid when corrections come from
+        an *exact* fp64 reference LU; with a reduced-precision reference the
+        correction carries its own factorization error, so each sweep instead
+        recomputes the true fp64 residual (one sparse matvec per sweep, as in
+        :func:`mixed_precision_refine`).
         """
         lu = self._lu(grid, omega, reference)
+        apply_inverse = _factor_apply(lu)
+        exact_lu = self.dtype == np.dtype(np.complex128)
+        matrix = None
+        if not exact_lu or x0 is not None:
+            matrix = self._system_matrix(grid, omega, eps_r)
         delta = (
             omega**2 * EPSILON_0 * (eps_r.ravel() - reference.eps.ravel())
         ).astype(complex)
@@ -990,7 +1420,6 @@ class RecycledEngine(SolverEngine):
             residual = flat_rhs.copy()
         else:
             x = np.asarray(x0, dtype=complex).reshape(flat_rhs.shape).copy()
-            matrix = self._system_matrix(grid, omega, eps_r)
             residual = flat_rhs - (matrix @ x.T).T
         residual_norms = np.linalg.norm(residual, axis=1)
         sweeps = 0
@@ -1001,10 +1430,13 @@ class RecycledEngine(SolverEngine):
                 break
             if sweeps >= self.max_sweeps:
                 return None, float("inf")
-            correction = lu.solve(residual[active].T).T
+            correction = np.asarray(apply_inverse(residual[active].T)).T
             back_substitutions += int(active.sum())
             x[active] += correction
-            new_residual = -delta[None, :] * correction
+            if exact_lu:
+                new_residual = -delta[None, :] * correction
+            else:
+                new_residual = flat_rhs[active] - (matrix @ x[active].T).T
             new_norms = np.linalg.norm(new_residual, axis=1)
             if np.any(new_norms >= residual_norms[active]):
                 # Not contracting: the reference no longer preconditions this
@@ -1028,7 +1460,7 @@ class RecycledEngine(SolverEngine):
         """LU-preconditioned BiCGStab/GMRES; ``(None, inf)`` on non-convergence."""
         matrix = self._system_matrix(grid, omega, eps_r)
         lu = self._lu(grid, omega, reference)
-        preconditioner = spla.LinearOperator(matrix.shape, lu.solve, dtype=complex)
+        preconditioner = spla.LinearOperator(matrix.shape, _factor_apply(lu), dtype=complex)
         method = "gmres" if self.method == "gmres" else "bicgstab"
         solutions = np.empty_like(rhs)
         worst = 0
@@ -1084,10 +1516,11 @@ class RecycledEngine(SolverEngine):
         reference = references.get(fingerprint)
         if reference is not None:
             # Exact fingerprint match (e.g. the unchanged normalization
-            # waveguide): a pure back-substitution, exact like DirectEngine.
+            # waveguide): a pure back-substitution at fp64 (exact like
+            # DirectEngine), refined to rtol at reduced precision.
             references.move_to_end(fingerprint)
             self.stats.exact_solves += 1
-            return self._back_substitute(self._lu(grid, omega, reference), rhs)
+            return self._reference_solve(grid, omega, reference, rhs)
 
         reference, drift = self._nearest_reference(references, eps_r)
         if (
@@ -1260,3 +1693,4 @@ register_engine("low", IterativeEngine)
 register_engine("bicgstab", lambda **kw: IterativeEngine(method="bicgstab", **kw))
 register_engine("gmres", lambda **kw: IterativeEngine(method="gmres", **kw))
 register_engine("recycled", RecycledEngine)
+register_engine("refined", RefinedEngine)

@@ -77,12 +77,24 @@ _ALIGN = 64
 #: cleanly.
 _PROBE_RTOL = 1e-3
 
+#: Per-factor-dtype overrides: complex64 factors replay the probe with fp32
+#: rounding (measured ~1e-6 on the equilibrated operators the refined tier
+#: factors), so the corruption threshold scales accordingly.
+_PROBE_RTOLS = {"complex64": 1e-2}
 
-def _probe_matches(candidate: np.ndarray, expected: np.ndarray) -> bool:
+
+def _probe_rtol(dtype) -> float:
+    """Probe tolerance for artifacts holding factors of ``dtype``."""
+    return _PROBE_RTOLS.get(np.dtype(dtype).name, _PROBE_RTOL)
+
+
+def _probe_matches(
+    candidate: np.ndarray, expected: np.ndarray, rtol: float = _PROBE_RTOL
+) -> bool:
     scale = float(np.linalg.norm(expected))
     if scale == 0.0 or not np.isfinite(scale):  # pragma: no cover - degenerate
         return bool(np.allclose(candidate, expected))
-    return float(np.linalg.norm(np.asarray(candidate) - expected)) <= _PROBE_RTOL * scale
+    return float(np.linalg.norm(np.asarray(candidate) - expected)) <= rtol * scale
 
 
 def default_store_budget_bytes() -> int:
@@ -254,11 +266,17 @@ class FileFactorizationStore:
                 return False
         try:
             snapshot = StoredFactorization.from_superlu(entry)
+            dtype = np.dtype(snapshot.L.dtype)
             n = snapshot.shape[0]
             probe_b = _probe_rhs(fingerprint, n)
-            probe_x = np.asarray(entry.solve(probe_b))
+            # Only the factors are persisted, so the probe must go through the
+            # factor-level solve: reduced-precision entries wrap their factors
+            # with an equilibration their artifact will not carry
+            # (``factor_solve`` is the unwrapped back-substitution).
+            factor_solve = getattr(entry, "factor_solve", entry.solve)
+            probe_x = np.asarray(factor_solve(probe_b))
             rebuilt = snapshot.solve(probe_b)
-            if not _probe_matches(rebuilt, probe_x):
+            if not _probe_matches(rebuilt, probe_x, _probe_rtol(dtype)):
                 raise StoreArtifactError("factor snapshot does not reproduce solves")
         except Exception:
             with self._lock:
@@ -280,16 +298,23 @@ class FileFactorizationStore:
             arrays[f"extra_{name}"] = np.ascontiguousarray(array)
 
         path = self.path_for(grid, omega, fingerprint, tag)
-        written = self._write_artifact(path, arrays, n=n)
+        written = self._write_artifact(path, arrays, n=n, dtype=dtype)
         with self._lock:
             self.stats.publishes += 1
             self.stats.bytes_written += written
         self._prune()
         return True
 
-    def _write_artifact(self, path: Path, arrays: dict[str, np.ndarray], n: int) -> int:
+    def _write_artifact(
+        self, path: Path, arrays: dict[str, np.ndarray], n: int, dtype=None
+    ) -> int:
         self.directory.mkdir(parents=True, exist_ok=True)
         header: dict = {"version": _FORMAT_VERSION, "n": int(n), "arrays": {}}
+        if dtype is not None:
+            # Factor precision, declared so loads scale the probe tolerance
+            # without sniffing array dtypes (absent in pre-precision artifacts,
+            # which are all complex128).
+            header["dtype"] = np.dtype(dtype).name
         # Lay the segments out first so the header can declare absolute
         # offsets and the total size (the structural truncation check).
         segments: list[tuple[str, np.ndarray]] = []
@@ -417,7 +442,8 @@ class FileFactorizationStore:
         if self.validate:
             probe_b = _probe_rhs(fingerprint, header["n"])
             probe_x = self._map_array(path, arrays["probe_x"])
-            if not _probe_matches(entry.solve(probe_b), probe_x):
+            rtol = _probe_rtol(header.get("dtype", "complex128"))
+            if not _probe_matches(entry.solve(probe_b), probe_x, rtol):
                 raise StoreArtifactError(f"{path} failed the probe-solve validation")
         return entry
 
@@ -459,16 +485,27 @@ class FileFactorizationStore:
 
     # -- housekeeping ------------------------------------------------------------
     def _prune(self) -> None:
-        """Best-effort LRU-by-mtime pruning down to the disk budget."""
+        """Best-effort LRU-by-mtime pruning down to the disk budget.
+
+        Concurrent pruners racing over the same directory are expected (any
+        publishing process prunes): a file that vanishes between the scan and
+        its ``stat``/``unlink`` was pruned by someone else, which is success
+        — the bytes are gone — never a reason to abort the rest of the pass
+        or to mis-count the remaining total.
+        """
         if self.budget_bytes <= 0:
             return
         try:
-            entries = [
-                (path.stat().st_mtime_ns, path.stat().st_size, path)
-                for path in self.directory.glob("*.fact")
-            ]
+            paths = list(self.directory.glob("*.fact"))
         except OSError:  # pragma: no cover - directory vanished
             return
+        entries = []
+        for path in paths:
+            try:
+                info = path.stat()
+            except OSError:  # vanished mid-scan: already pruned elsewhere
+                continue
+            entries.append((info.st_mtime_ns, info.st_size, path))
         total = sum(size for _, size, _ in entries)
         if total <= self.budget_bytes:
             return
@@ -478,7 +515,12 @@ class FileFactorizationStore:
                 break
             try:
                 path.unlink()
-            except OSError:  # pragma: no cover - racing deletion
+            except FileNotFoundError:
+                # A concurrent pruner beat us to it; the bytes are still
+                # reclaimed, so the running total must reflect that.
+                total -= size
+                continue
+            except OSError:  # pragma: no cover - permissions and friends
                 continue
             total -= size
             with self._lock:

@@ -12,9 +12,13 @@ never serializes unrelated operators).
 
 :class:`SolveService` closes the gap.  Requests are submitted (``submit`` for
 a future, ``solve``/``solve_batch`` to block) into an asyncio loop running on
-a background thread, grouped by ``(engine, grid, omega, eps fingerprint)``,
-and each group is flushed as a *single* ``solve_batch`` call once a
-micro-batching window elapses or the group reaches a maximum batch size.
+a background thread, grouped by ``(engine fidelity signature, grid, omega,
+eps fingerprint)`` — the signature carries everything that shapes results
+(tier, Krylov configuration, factor *precision*), so an fp32 ``refined``
+request can never coalesce with an fp64 one, while equal-fidelity requests
+coalesce even when issued through distinct engine instances — and each group
+is flushed as a *single* ``solve_batch`` call once a micro-batching window
+elapses or the group reaches a maximum batch size.
 Under concurrent same-operator load this turns N racing factorizations into
 one, and N per-request back-substitutions into one stacked one.  Coalescing
 is purely an execution-order change: the direct tier's stacked solve is
@@ -135,6 +139,11 @@ class SolveService:
         self.stats = ServiceStats()
         self._engines: dict[str, SolverEngine] = {}
         self._pending: dict[tuple, _PendingBatch] = {}
+        #: Every unresolved request future, registered *before* its enqueue
+        #: callback is posted to the loop.  close() sweeps this last, so a
+        #: submit racing close can never orphan a future (the callback may
+        #: land after the loop drained, or never run at all).
+        self._inflight: set[concurrent.futures.Future] = set()
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._executor = concurrent.futures.ThreadPoolExecutor(
@@ -166,9 +175,14 @@ class SolveService:
             return self._loop
 
     def close(self) -> None:
-        """Flush nothing, stop the loop, and release the executor threads.
+        """Stop the loop and release the executor threads; idempotent.
 
-        Pending requests are failed with :class:`RuntimeError`; idempotent.
+        Every pending future resolves promptly — requests already flushed to
+        the executor run to completion (their futures complete normally),
+        everything still queued in a micro-batching window is cancelled
+        (:class:`concurrent.futures.CancelledError`), and a ``submit`` racing
+        ``close`` either raises or has its future cancelled.  No client
+        thread blocked on ``.result()`` is ever left hanging.
         """
         with self._lifecycle:
             if self._closed:
@@ -181,8 +195,7 @@ class SolveService:
                     if batch.handle is not None:
                         batch.handle.cancel()
                     for future, _, _ in batch.parts:
-                        if not future.done():
-                            future.set_exception(RuntimeError("SolveService closed"))
+                        future.cancel()
                 self._pending.clear()
                 loop.stop()
 
@@ -190,7 +203,22 @@ class SolveService:
             if self._thread is not None:
                 self._thread.join(timeout=5.0)
             loop.close()
-        self._executor.shutdown(wait=False)
+        # Wait for in-flight solves so their futures complete rather than
+        # dangle behind a dead executor.
+        self._executor.shutdown(wait=True)
+        # A submit racing close can post its enqueue callback into the same
+        # ready cycle as the drain — after it — recreating a _pending entry
+        # whose flush timer will never fire on the stopped loop; or the
+        # callback may never run at all.  The loop thread is gone, so sweep
+        # both places and cancel whatever is left.
+        for batch in self._pending.values():
+            if batch.handle is not None:
+                batch.handle.cancel()
+            for future, _, _ in batch.parts:
+                future.cancel()
+        self._pending.clear()
+        for future in list(self._inflight):
+            future.cancel()
 
     def __enter__(self) -> "SolveService":
         return self
@@ -223,8 +251,10 @@ class SolveService:
 
         ``rhs`` may be a single ``(nx, ny)`` right-hand side or a stack
         ``(n, nx, ny)``; the future's result has the same shape.  Requests
-        sharing ``(engine, grid, omega, fingerprint)`` that arrive within the
-        micro-batching window are solved in one engine call.
+        sharing ``(engine fidelity signature, grid, omega, fingerprint)``
+        that arrive within the micro-batching window are solved in one
+        engine call — the signature includes the factor precision, so
+        mixed-precision tiers group strictly by dtype.
         """
         eps_r = np.asarray(eps_r)
         rhs = np.asarray(rhs, dtype=complex)
@@ -241,24 +271,35 @@ class SolveService:
             x0 = x0[None] if x0.ndim == 2 else x0
             if x0.shape != stack.shape:
                 raise ValueError(f"x0 shape {x0.shape} does not match rhs {stack.shape}")
-        engine_key, resolved = self._resolve(engine)
+        _, resolved = self._resolve(engine)
 
         inner: concurrent.futures.Future = concurrent.futures.Future()
         loop = self._ensure_loop()
-        loop.call_soon_threadsafe(
-            self._enqueue,
-            (engine_key, grid, float(omega), fingerprint),
-            resolved,
-            eps_r,
-            stack,
-            x0,
-            inner,
-        )
+        self._inflight.add(inner)
+        inner.add_done_callback(self._inflight.discard)
+        try:
+            loop.call_soon_threadsafe(
+                self._enqueue,
+                (resolved.fidelity_signature, grid, float(omega), fingerprint),
+                resolved,
+                eps_r,
+                stack,
+                x0,
+                inner,
+            )
+        except RuntimeError:
+            # The loop closed under us (close() racing this submit): the
+            # callback was never queued, so resolve the future here.
+            inner.cancel()
+            raise
         if not single:
             return inner
         outer: concurrent.futures.Future = concurrent.futures.Future()
 
         def unwrap(done: concurrent.futures.Future) -> None:
+            if done.cancelled():
+                outer.cancel()
+                return
             error = done.exception()
             if error is not None:
                 outer.set_exception(error)
@@ -284,6 +325,12 @@ class SolveService:
     # -- loop-side grouping ------------------------------------------------------
     def _enqueue(self, key, engine, eps_r, stack, x0, future) -> None:
         # Runs on the loop thread: single-threaded access to self._pending.
+        if self._closed:
+            # This callback landed in the same ready cycle as (but after)
+            # close()'s drain: the flush timer created below would never
+            # fire on the stopped loop, so resolve the future immediately.
+            future.cancel()
+            return
         self.stats.requests += 1
         self.stats.rhs_in += stack.shape[0]
         batch = self._pending.get(key)
@@ -308,9 +355,15 @@ class SolveService:
             return
         if batch.handle is not None:
             batch.handle.cancel()
-        asyncio.get_running_loop().run_in_executor(
-            self._executor, self._solve_flushed, batch
-        )
+        try:
+            asyncio.get_running_loop().run_in_executor(
+                self._executor, self._solve_flushed, batch
+            )
+        except RuntimeError:
+            # Executor already shut down (close() racing a timer flush):
+            # the batch cannot run, so its waiters must not hang.
+            for future, _, _ in batch.parts:
+                future.cancel()
 
     # -- executor-side solving ---------------------------------------------------
     def _solve_flushed(self, batch: _PendingBatch) -> None:

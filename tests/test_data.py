@@ -376,6 +376,18 @@ class TestShardedGeneration:
         with pytest.raises(ValueError):
             generator.generate()
 
+    def test_unknown_array_backend_rejected_at_config_time(self):
+        config = GeneratorConfig(**self.CONFIG_KWARGS, backend="tpu")
+        with pytest.raises(ValueError, match="tpu"):
+            DatasetGenerator(config)
+
+    def test_numpy_backend_accepted_and_bit_identical(self):
+        baseline = DatasetGenerator(GeneratorConfig(**self.CONFIG_KWARGS)).generate()
+        explicit = DatasetGenerator(
+            GeneratorConfig(**self.CONFIG_KWARGS, backend="numpy")
+        ).generate()
+        self._assert_bit_identical(baseline, explicit)
+
 
 class TestGeneratorCLI:
     def test_engine_argument_parsing(self):

@@ -1,5 +1,7 @@
 """Tests for the solver-engine layer: cache, engines, batching, rewiring."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -10,10 +12,14 @@ from repro.fdfd.engine import (
     DirectEngine,
     FactorizationCache,
     IterativeEngine,
+    RefinedEngine,
     SolverEngine,
     available_engines,
+    dtype_cache_tag,
     eps_fingerprint,
     make_engine,
+    mixed_precision_refine,
+    precision_dtype,
     resolve_engine,
 )
 from repro.fdfd.simulation import ExcitationSpec
@@ -140,6 +146,45 @@ class TestFactorizationCache:
         assert cache.peek(grid, OMEGA, "b") is None
         assert cache.peek(grid, OMEGA, "c") == "C"
 
+    def test_byte_accounting_exact_under_thread_churn(self):
+        """``current_bytes`` never drifts, even across double-build races.
+
+        Regression guard for the lost-build-race bookkeeping in ``_insert``:
+        many threads hammering overlapping cold keys through a tiny cache
+        force simultaneous builds of the same key (last insert wins) plus
+        constant LRU eviction; afterwards the byte counter must equal the
+        recomputed sum over the entries actually held — any unpaired
+        add/subtract shows up as permanent drift.
+        """
+        from repro.fdfd.engine import _entry_nbytes
+
+        cache = FactorizationCache(maxsize=4)
+        grid = Grid(nx=20, ny=20, dl=0.1, npml=5)
+        fingerprints = [f"fp{i}" for i in range(8)]
+        barrier = threading.Barrier(6)
+
+        def churn(seed):
+            rng = np.random.default_rng(seed)
+            barrier.wait()
+            for _ in range(300):
+                index = int(rng.integers(len(fingerprints)))
+                cache.get_or_build(
+                    grid,
+                    OMEGA,
+                    fingerprints[index],
+                    lambda index=index: np.zeros(64 * (index + 1)),
+                )
+
+        threads = [threading.Thread(target=churn, args=(seed,)) for seed in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        with cache._lock:
+            expected = sum(_entry_nbytes(entry) for entry in cache._entries.values())
+        assert cache.stats.current_bytes == expected
+        assert len(cache) <= 4
+
     def test_in_place_eps_mutation_invalidates_fingerprint(self):
         """Content fingerprints key the cache: mutated eps_r never hits stale LUs."""
         grid, eps, _ = _straight_waveguide()
@@ -231,13 +276,14 @@ class TestIterativeEngine:
 class TestRegistry:
     def test_names_available(self):
         names = available_engines()
-        for name in ("direct", "iterative", "high", "low"):
+        for name in ("direct", "iterative", "high", "low", "refined"):
             assert name in names
 
     def test_make_engine(self):
         assert isinstance(make_engine("direct"), DirectEngine)
         assert isinstance(make_engine("high"), DirectEngine)
         assert isinstance(make_engine("low"), IterativeEngine)
+        assert isinstance(make_engine("refined"), RefinedEngine)
         assert make_engine("gmres").method == "gmres"
 
     def test_unknown_engine_rejected(self):
@@ -255,6 +301,98 @@ class TestRegistry:
     def test_neural_engine_requires_model(self):
         with pytest.raises(ValueError):
             make_engine("neural")
+
+
+# --------------------------------------------------------------------------- #
+# mixed-precision refined tier
+# --------------------------------------------------------------------------- #
+class TestRefinedEngine:
+    def test_precision_aliases(self):
+        for alias in ("fp32", "single", "float32", "complex64"):
+            assert precision_dtype(alias) == np.dtype(np.complex64)
+        for alias in ("fp64", "double", "float64", "complex128"):
+            assert precision_dtype(alias) == np.dtype(np.complex128)
+        with pytest.raises(ValueError):
+            precision_dtype("fp16")
+
+    def test_dtype_cache_tags_never_collide(self):
+        # fp64 keeps the bare tag (artifact back-compat); fp32 gets a suffix.
+        assert dtype_cache_tag("refined", np.complex128) == "refined"
+        assert dtype_cache_tag("refined", np.complex64) == "refined-complex64"
+
+    def test_fp32_factors_refine_to_fp64_accuracy(self):
+        grid, eps, _ = _straight_waveguide()
+        rhs = np.stack(_point_sources(grid, 3))
+        reference = DirectEngine(cache=FactorizationCache()).solve_batch(
+            grid, OMEGA, eps, rhs
+        )
+        engine = RefinedEngine(precision="fp32", rtol=1e-10, cache=FactorizationCache())
+        result = engine.solve_batch(grid, OMEGA, eps, rhs)
+        scale = np.max(np.abs(reference))
+        assert np.max(np.abs(result - reference)) <= 1e-9 * scale
+        assert engine.stats.factorizations == 1
+        assert engine.stats.solves == 3
+        assert engine.stats.sweeps >= 1
+        # The cached factor really is single precision.
+        entry = engine.cache.peek(
+            grid, OMEGA, eps_fingerprint(eps), tag="refined-complex64"
+        )
+        assert entry is not None and np.dtype(entry.dtype) == np.dtype(np.complex64)
+
+    def test_fp64_precision_degenerates_to_direct(self):
+        grid, eps, _ = _straight_waveguide()
+        rhs = np.stack(_point_sources(grid, 1))
+        reference = DirectEngine(cache=FactorizationCache()).solve_batch(
+            grid, OMEGA, eps, rhs
+        )
+        engine = RefinedEngine(precision="fp64", cache=FactorizationCache())
+        result = engine.solve_batch(grid, OMEGA, eps, rhs)
+        np.testing.assert_allclose(result, reference, rtol=1e-12, atol=1e-18)
+        assert engine.stats.sweeps == 1  # exact LU: first correction converges
+
+    def test_precisions_key_distinct_cache_entries(self):
+        grid, eps, _ = _straight_waveguide()
+        fingerprint = eps_fingerprint(eps)
+        rhs = np.stack(_point_sources(grid, 1))
+        cache = FactorizationCache(maxsize=4)
+        RefinedEngine(precision="fp32", cache=cache).solve_batch(
+            grid, OMEGA, eps, rhs, fingerprint=fingerprint
+        )
+        RefinedEngine(precision="fp64", cache=cache).solve_batch(
+            grid, OMEGA, eps, rhs, fingerprint=fingerprint
+        )
+        # Two factorizations, never a cross-precision hit.
+        assert cache.stats.misses == 2 and cache.stats.hits == 0
+        assert cache.peek(grid, OMEGA, fingerprint, tag="refined-complex64") is not None
+        assert cache.peek(grid, OMEGA, fingerprint, tag="refined") is not None
+
+    def test_warm_start_skips_converged_refinement(self):
+        grid, eps, _ = _straight_waveguide()
+        rhs = np.stack(_point_sources(grid, 1))
+        engine = RefinedEngine(precision="fp32", cache=FactorizationCache())
+        cold = engine.solve_batch(grid, OMEGA, eps, rhs)
+        cold_sweeps = engine.stats.sweeps
+        warm = engine.solve_batch(grid, OMEGA, eps, rhs, x0=cold)
+        assert engine.stats.sweeps - cold_sweeps <= cold_sweeps
+        np.testing.assert_allclose(warm, cold, rtol=1e-9, atol=1e-16)
+
+    def test_refinement_divergence_raises(self):
+        """A non-contracting 'inverse' must fail loudly, never return junk."""
+        from repro.fdfd.engine import assemble_system_matrix
+
+        grid, eps, _ = _straight_waveguide(domain=1.2)
+        matrix = assemble_system_matrix(grid, OMEGA, eps)
+        rhs = np.stack(_point_sources(grid, 1)).reshape(1, -1)
+        with pytest.raises(RuntimeError):
+            mixed_precision_refine(
+                matrix, lambda r: 1e-3 * r, rhs, rtol=1e-10, max_sweeps=5
+            )
+
+    def test_fidelity_signature_carries_precision(self):
+        fp32 = RefinedEngine(precision="fp32", cache=FactorizationCache())
+        fp64 = RefinedEngine(precision="fp64", cache=FactorizationCache())
+        assert fp32.fidelity_signature != fp64.fidelity_signature
+        assert "complex64" in fp32.fidelity_signature
 
 
 # --------------------------------------------------------------------------- #

@@ -2,8 +2,8 @@
 
 One parametrized suite asserting forward fields, adjoint gradients and
 ``evaluate_specs`` labels agree across ``direct`` x ``iterative`` x
-``recycled`` on two devices x two grid sizes — the single place engine
-regressions surface.  The ``neural`` tier (registered from a checkpoint) is
+``recycled`` x ``refined`` (mixed-precision iterative refinement) on two
+devices x two grid sizes — the single place engine regressions surface.  The ``neural`` tier (registered from a checkpoint) is
 exercised for plumbing, not accuracy: a surrogate's numbers depend on its
 training, so it is asserted to run end to end and produce finite,
 well-shaped results.
@@ -25,7 +25,7 @@ CASES = [
 ]
 CASE_IDS = [case[0] for case in CASES]
 
-ENGINES = ["iterative", "recycled"]
+ENGINES = ["iterative", "recycled", "refined"]
 
 
 def _density(device) -> np.ndarray:

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
+import pathlib
 import threading
 import time
 
@@ -27,6 +28,7 @@ from repro.fdfd.engine import (
     DirectEngine,
     FactorizationCache,
     RecycledEngine,
+    RefinedEngine,
     assemble_system_matrix,
     available_engines,
     eps_fingerprint,
@@ -226,6 +228,151 @@ class TestFileFactorizationStore:
         assert store.stats.pruned == 1
         assert store.load(grid, OMEGA, fingerprint_b, "direct") is not None
         assert store.load(grid, OMEGA, fingerprint, "direct") is None
+
+    def test_precision_keyed_artifacts_coexist(self, tmp_path, tiny_problem):
+        """fp32 and fp64 factors of one operator persist as distinct artifacts."""
+        grid, eps, fingerprint = tiny_problem
+        store = FileFactorizationStore(tmp_path)
+        rhs = _rhs_stack(grid, 1)
+        for precision in ("fp32", "fp64"):
+            cache = FactorizationCache(store=store)
+            RefinedEngine(precision=precision, cache=cache).solve_batch(
+                grid, OMEGA, eps, rhs, fingerprint=fingerprint
+            )
+        assert store.stats.publishes == 2
+        assert len(store) == 2  # dtype-suffixed tags: no clobbering
+        for tag, dtype_name in (("refined-complex64", "complex64"), ("refined", "complex128")):
+            path = store.path_for(grid, OMEGA, fingerprint, tag)
+            assert path.exists()
+            assert store._read_header(path)["dtype"] == dtype_name
+
+    def test_wrong_precision_warm_store_is_a_miss(self, tmp_path, tiny_problem):
+        grid, eps, fingerprint = tiny_problem
+        store = FileFactorizationStore(tmp_path)
+        rhs = _rhs_stack(grid, 1)
+        warm = FactorizationCache(store=store)
+        RefinedEngine(precision="fp32", cache=warm).solve_batch(
+            grid, OMEGA, eps, rhs, fingerprint=fingerprint
+        )
+        assert warm.stats.factorizations == 1
+
+        # fp64 must not adopt the fp32 artifact: store miss, fresh build.
+        cold64 = FactorizationCache(store=store)
+        reference = RefinedEngine(precision="fp64", cache=cold64).solve_batch(
+            grid, OMEGA, eps, rhs, fingerprint=fingerprint
+        )
+        assert cold64.stats.store_misses == 1
+        assert cold64.stats.factorizations == 1
+
+        # Matching precision maps the artifact without factorizing.
+        cold32 = FactorizationCache(store=store)
+        result = RefinedEngine(precision="fp32", cache=cold32).solve_batch(
+            grid, OMEGA, eps, rhs, fingerprint=fingerprint
+        )
+        assert cold32.stats.store_hits == 1
+        assert cold32.stats.factorizations == 0
+        assert _norm_close(result, reference, rtol=1e-7)
+
+    def _three_artifacts(self, tmp_path, grid, eps):
+        """Three same-sized artifacts with strictly increasing mtimes."""
+        store = FileFactorizationStore(tmp_path)
+        paths = []
+        for scale in (1.0, 1.01, 1.02):
+            eps_k = eps * scale
+            fingerprint_k = eps_fingerprint(eps_k)
+            lu = spla.splu(assemble_system_matrix(grid, OMEGA, eps_k).tocsc())
+            assert store.publish(grid, OMEGA, fingerprint_k, "direct", lu)
+            paths.append(store.path_for(grid, OMEGA, fingerprint_k, "direct"))
+            time.sleep(0.01)
+        return store, paths  # oldest first
+
+    def test_prune_tolerates_files_vanishing_mid_scan(
+        self, tmp_path, tiny_problem, monkeypatch
+    ):
+        """A file deleted between glob and stat never aborts the prune pass.
+
+        Regression: the scan used to stat inside one list comprehension, so a
+        concurrent pruner deleting any artifact mid-scan raised out of the
+        whole pass and left the directory over budget indefinitely.
+        """
+        grid, eps, _ = tiny_problem
+        store, paths = self._three_artifacts(tmp_path, grid, eps)
+        oldest, middle, newest = paths
+        sizes = {path: path.stat().st_size for path in paths}
+        # Room for one and a half artifacts: the prune must delete `oldest`
+        # (after `newest` vanishes, reclaiming its bytes for us).
+        store.budget_bytes = sizes[middle] + sizes[newest] // 2
+
+        real_stat = pathlib.Path.stat
+        state = {"fired": False}
+
+        def racing_stat(self, **kwargs):
+            if not state["fired"] and self == newest:
+                state["fired"] = True
+                os.unlink(self)  # a concurrent pruner wins the stat race
+            return real_stat(self, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "stat", racing_stat)
+        store._prune()
+        monkeypatch.undo()
+
+        assert state["fired"]
+        assert not oldest.exists()  # the pass continued past the vanished file
+        assert middle.exists()
+        assert store.stats.pruned == 1
+        assert len(store) == 1
+
+    def test_prune_counts_bytes_reclaimed_by_concurrent_pruner(
+        self, tmp_path, tiny_problem, monkeypatch
+    ):
+        """A file deleted between stat and unlink still counts as reclaimed.
+
+        Regression: losing the unlink race used to leave the running total
+        unadjusted, so the pass kept deleting newer artifacts it should have
+        kept (the budget was already met by the concurrent deletion).
+        """
+        grid, eps, _ = tiny_problem
+        store, paths = self._three_artifacts(tmp_path, grid, eps)
+        oldest, middle, newest = paths
+        sizes = {path: path.stat().st_size for path in paths}
+        # Room for two and a half artifacts: deleting `oldest` alone meets
+        # the budget; anything more is an over-prune.
+        store.budget_bytes = sizes[middle] + sizes[newest] + sizes[oldest] // 2
+
+        real_unlink = pathlib.Path.unlink
+        state = {"fired": False}
+
+        def racing_unlink(self, **kwargs):
+            if not state["fired"] and self == oldest:
+                state["fired"] = True
+                os.unlink(self)  # a concurrent pruner wins the unlink race
+            return real_unlink(self, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "unlink", racing_unlink)
+        store._prune()
+        monkeypatch.undo()
+
+        assert state["fired"]
+        assert middle.exists() and newest.exists()  # no over-prune
+        assert len(store) == 2
+
+    def test_load_tolerates_artifact_pruned_mid_read(
+        self, tmp_path, tiny_problem, monkeypatch
+    ):
+        """An artifact vanishing mid-load is a plain miss, never a crash."""
+        grid, eps, fingerprint = tiny_problem
+        store, _ = self._published(tmp_path, grid, eps, fingerprint)
+        real_read_header = FileFactorizationStore._read_header
+
+        def delete_after_header(self, path):
+            header = real_read_header(self, path)
+            path.unlink()  # a concurrent pruner reclaims the file mid-load
+            return header
+
+        monkeypatch.setattr(FileFactorizationStore, "_read_header", delete_after_header)
+        assert store.load(grid, OMEGA, fingerprint, "direct") is None
+        assert store.stats.misses == 1
+        assert store.stats.failures == 0  # a vanished file is not corruption
 
     def test_budget_env_knob(self, monkeypatch):
         monkeypatch.setenv("REPRO_FACTORIZATION_STORE_BYTES", "12345")
@@ -440,7 +587,7 @@ class TestSolveService:
             with pytest.raises(ValueError):
                 service.submit(grid, OMEGA, eps, np.zeros((3,), dtype=complex))
 
-    def test_close_fails_pending_and_rejects_new(self, tiny_problem):
+    def test_close_cancels_pending_and_rejects_new(self, tiny_problem):
         grid, eps, fingerprint = tiny_problem
         rhs = _rhs_stack(grid, 1)[0]
         service = SolveService(
@@ -448,7 +595,8 @@ class TestSolveService:
         )
         pending = service.submit(grid, OMEGA, eps, rhs, fingerprint=fingerprint)
         service.close()
-        with pytest.raises(RuntimeError):
+        # A queued-but-unflushed request resolves by cancellation, never a hang.
+        with pytest.raises(concurrent.futures.CancelledError):
             pending.result(timeout=10)
         with pytest.raises(RuntimeError):
             service.submit(grid, OMEGA, eps, rhs)
