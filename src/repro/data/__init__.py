@@ -26,7 +26,12 @@ from repro.data.sampling import (
     PerturbedOptTrajSampling,
     make_sampler,
 )
-from repro.data.generator import DatasetGenerator, GeneratorConfig, generate_dataset
+from repro.data.generator import (
+    DatasetGenerator,
+    GeneratorConfig,
+    ShardExecutionError,
+    generate_dataset,
+)
 from repro.data.shards import (
     ShardSpec,
     ShardTask,
@@ -56,6 +61,7 @@ __all__ = [
     "DatasetGenerator",
     "GeneratorConfig",
     "generate_dataset",
+    "ShardExecutionError",
     "ShardSpec",
     "ShardTask",
     "plan_shards",

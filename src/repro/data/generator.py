@@ -34,9 +34,11 @@ from repro.data.sampling import DesignSample, SamplingStrategy, make_sampler
 from repro.data.shards import (
     ShardTask,
     configure_worker,
+    discard_stale_partials,
     engine_for_fidelity,
     engine_tag,
     plan_shards,
+    quarantine_artifact,
     run_shard,
     shard_filename,
     shard_fingerprint,
@@ -45,8 +47,35 @@ from repro.data.shards import (
 from repro.devices.factory import make_device
 from repro.fdfd.engine import SolverEngine, available_engines, split_engine_name
 from repro.utils import backend as array_backend
-from repro.utils.parallel import effective_workers, run_tasks
+from repro.utils.executor import ExecutorConfig, TaskFailure, TaskReport, execute_tasks
+from repro.utils.parallel import effective_workers
 from repro.utils.rng import get_rng
+
+
+class ShardExecutionError(RuntimeError):
+    """Some shards failed permanently; everything else was persisted.
+
+    Raised after every shard has had its chance (failures never abort
+    siblings): ``failures`` lists the permanently-failed shards and
+    ``report`` is the underlying :class:`~repro.utils.executor.TaskReport`.
+    Completed shards' artifacts are already on disk, so rerunning with
+    ``resume=True`` recomputes exactly the failed shards.
+    """
+
+    def __init__(self, shard_failures: list[tuple[ShardTask, TaskFailure]], report: TaskReport):
+        self.shard_failures = shard_failures
+        self.report = report
+        described = ", ".join(
+            f"shard {task.spec.index} ({task.spec.fidelity}, "
+            f"designs {task.spec.design_ids[0]}..{task.spec.design_ids[-1]}): "
+            f"{failure.error!r} after {failure.attempts} attempt(s)"
+            for task, failure in shard_failures
+        )
+        super().__init__(
+            f"{len(shard_failures)} shard(s) failed permanently [{described}]; "
+            "completed shards were persisted — rerunning with resume=True "
+            "recomputes only the failed shards"
+        )
 
 
 @dataclass
@@ -79,6 +108,18 @@ class GeneratorConfig:
     :mod:`repro.utils.backend`).  It selects *where* dense array math runs,
     not what it computes, so it is also excluded from shard fingerprints;
     an unavailable backend fails at configuration time, not inside a worker.
+
+    ``task_timeout`` / ``max_retries`` / ``retry_backoff`` set the
+    fault-tolerance policy of the worker fabric (see
+    :mod:`repro.utils.executor`): a shard whose worker crashes, hangs past
+    its deadline, or raises is retried up to ``max_retries`` times on a
+    respawned worker (exponential backoff starting at ``retry_backoff``
+    seconds), and a shard that fails permanently surfaces in a
+    :class:`ShardExecutionError` *after* its siblings finished — their
+    artifacts persist, so a ``resume=True`` rerun recomputes only what was
+    lost.  Retries never change labels: shards are deterministic functions
+    of the config, so the merged dataset stays bit-identical to an
+    undisturbed run.
 
     Examples
     --------
@@ -117,6 +158,9 @@ class GeneratorConfig:
     design_id_offset: int = 0
     factorization_store: str | None = None
     backend: str | None = None
+    task_timeout: float | None = None
+    max_retries: int = 2
+    retry_backoff: float = 0.25
 
 
 class DatasetGenerator:
@@ -132,6 +176,11 @@ class DatasetGenerator:
             # Never mutate the caller's config: overrides apply to a copy.
             config = replace(config, **overrides)
         self.config = config
+        #: Fault-tolerance accounting of the most recent ``generate`` call:
+        #: the executor's :class:`~repro.utils.executor.TaskReport`, plus how
+        #: many unreadable worker artifacts the parent recovered in-process.
+        self.last_task_report: TaskReport | None = None
+        self.last_shard_recoveries: int = 0
         self._validate_engine()
         if config.backend:
             # Resolve eagerly: a mis-provisioned backend (bad name, missing
@@ -224,11 +273,21 @@ class DatasetGenerator:
             weights = [float(getattr(d, "weight", 1.0)) for d in shard_designs]
             fingerprint = shard_fingerprint(config, spec, densities, stages, weights)
             path = shard_dir / shard_filename(fingerprint) if shard_dir else None
+            if path is not None:
+                # A writer that crashed mid-write may have left temp files;
+                # they are dead weight at best (and, under the legacy naming,
+                # loader-visible) — clear them before anything else runs.
+                discard_stale_partials(path)
             if path is not None and config.resume:
                 loaded = try_load_shard(path, fingerprint)
                 if loaded is not None:
                     results[spec.index] = loaded
                     continue
+                if path.exists():
+                    # Present but unreadable / mismatched: quarantine it so
+                    # it never poisons this (or any later) resume scan, then
+                    # recompute the shard under its original name.
+                    quarantine_artifact(path)
             pending.append(
                 ShardTask(
                     spec=spec,
@@ -263,21 +322,61 @@ class DatasetGenerator:
                 config.backend,
                 str(config.factorization_store) if config.factorization_store else None,
             )
-        outputs = run_tasks(
+        executor_config = ExecutorConfig(
+            timeout=config.task_timeout,
+            max_retries=max(int(config.max_retries), 0),
+            backoff=float(config.retry_backoff),
+            seed=int(config.seed),
+        )
+        report = execute_tasks(
             run_shard,
             pending,
             workers=num_workers,
+            config=executor_config,
             initializer=initializer,
             initargs=initargs,
         )
-        for task, output in zip(pending, outputs):
+        self.last_task_report = report
+        self.last_shard_recoveries = 0
+        failures_by_position = {failure.index: failure for failure in report.failures}
+        shard_failures: list[tuple[ShardTask, TaskFailure]] = []
+        parent_warmed = initializer is None
+        for position, (task, output) in enumerate(zip(pending, report.results)):
+            failure = failures_by_position.get(position)
+            if failure is not None:
+                if task.shard_path is not None:
+                    # Whatever the failed attempts left behind must never be
+                    # mistaken for a finished shard on the next resume.
+                    discard_stale_partials(task.shard_path)
+                    salvaged = try_load_shard(task.shard_path, task.fingerprint)
+                    if salvaged is not None:
+                        # Complete, valid artifact: the final attempt died
+                        # *after* its atomic rename.  Keep the work.
+                        results[task.spec.index] = salvaged
+                        continue
+                    quarantine_artifact(task.shard_path)
+                shard_failures.append((task, failure))
+                continue
             if isinstance(output, str):
                 loaded = try_load_shard(output, task.fingerprint)
                 if loaded is None:
-                    raise RuntimeError(f"worker wrote an unreadable shard: {output}")
+                    # The worker reported success but its artifact does not
+                    # read back (e.g. storage truncated it mid-write).
+                    # Quarantine the corpse and recompute this one shard
+                    # in-process — exactly one shard of wasted work.
+                    quarantine_artifact(output)
+                    if not parent_warmed:
+                        initializer(*initargs)
+                        parent_warmed = True
+                    labels_ids = run_shard(replace(task, return_labels=True))
+                    self.last_shard_recoveries += 1
+                    results[task.spec.index] = labels_ids
+                    continue
                 results[task.spec.index] = loaded
             else:
                 results[task.spec.index] = output
+        if shard_failures:
+            raise ShardExecutionError(shard_failures, report)
 
         # Merge in plan order (fidelity-major, ascending design blocks): the
         # exact order the serial loop produces.
@@ -440,6 +539,30 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="reuse finished shard artifacts in --shard-dir",
     )
     parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help=(
+            "per-shard deadline in seconds: a worker that exceeds it is "
+            "killed and its shard retried on a fresh worker (default: none)"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help=(
+            "re-executions allowed per shard after a crash, timeout or "
+            "error before it is reported as permanently failed"
+        ),
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.25,
+        help="base retry delay in seconds (doubles per attempt, jittered)",
+    )
+    parser.add_argument(
         "--no-gradient",
         action="store_true",
         help="skip adjoint-gradient labels (forward-only dataset)",
@@ -472,6 +595,9 @@ def main(argv: list[str] | None = None) -> int:
         resume=args.resume,
         factorization_store=args.factorization_store,
         backend=args.backend,
+        task_timeout=args.task_timeout,
+        max_retries=args.max_retries,
+        retry_backoff=args.retry_backoff,
     )
     generator = DatasetGenerator(config)
     start = time.perf_counter()

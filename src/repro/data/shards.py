@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import zipfile
 from dataclasses import dataclass
@@ -41,7 +42,10 @@ from repro.constants import wavelength_to_omega
 from repro.data.labels import RichLabels, extract_labels_batch
 from repro.devices.factory import make_device
 from repro.fdfd.engine import SolverEngine, split_engine_name, warmup_operators
+from repro.utils import faults
 from repro.utils.numerics import resample_bilinear
+
+logger = logging.getLogger(__name__)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (generator imports us)
     from repro.data.generator import GeneratorConfig
@@ -50,8 +54,10 @@ __all__ = [
     "SHARD_FORMAT_VERSION",
     "ShardSpec",
     "ShardTask",
+    "discard_stale_partials",
     "engine_for_fidelity",
     "plan_shards",
+    "quarantine_artifact",
     "shard_fingerprint",
     "shard_filename",
     "run_shard",
@@ -308,6 +314,7 @@ def run_shard(task: ShardTask):
 
     if task.shard_path is not None:
         save_shard(task.shard_path, labels, design_ids, fingerprint=task.fingerprint)
+        faults.on_shard_saved(spec.index, task.shard_path)
         if not task.return_labels:
             return task.shard_path
     return labels, design_ids
@@ -367,7 +374,11 @@ def save_shard(
     arrays["__header__"] = np.frombuffer(
         json.dumps(header).encode("utf-8"), dtype=np.uint8
     )
-    tmp = path.with_name(f"{path.stem}.tmp-{os.getpid()}.npz")
+    # The temp name is dot-prefixed so a crash mid-write can never leave a
+    # file matching the ``shard_*.npz`` glob the loader and resume scan — a
+    # half-written partial must be invisible, not merely unlikely to load.
+    # (It keeps the ``.npz`` suffix because ``savez`` appends one otherwise.)
+    tmp = path.with_name(f".{path.stem}.tmp-{os.getpid()}.npz")
     np.savez_compressed(tmp, **arrays)
     os.replace(tmp, path)
     return path
@@ -444,3 +455,49 @@ def try_load_shard(
         json.JSONDecodeError,
     ):
         return None
+
+
+def quarantine_artifact(path: str | Path) -> Path | None:
+    """Move a corrupt shard artifact out of the way (``<name>.bad``).
+
+    A quarantined file no longer matches the ``shard_*.npz`` glob, so it can
+    never poison ``resume=True`` or a :class:`ShardDataLoader` scan again —
+    the shard is simply recomputed under its original name.  Returns the
+    quarantine path, or None when there was nothing to move (already gone,
+    e.g. a concurrent run got there first).
+    """
+    path = Path(path)
+    target = path.with_name(path.name + ".bad")
+    suffix = 0
+    while target.exists():
+        suffix += 1
+        target = path.with_name(f"{path.name}.bad{suffix}")
+    try:
+        path.rename(target)
+    except FileNotFoundError:
+        return None
+    except OSError:
+        logger.warning("could not quarantine corrupt shard artifact %s", path)
+        return None
+    logger.warning("quarantined corrupt shard artifact %s -> %s", path.name, target.name)
+    return target
+
+
+def discard_stale_partials(path: str | Path) -> int:
+    """Delete leftover temp files from crashed writers of this artifact.
+
+    Matches both the current dot-prefixed temp naming and the legacy
+    unprefixed one (which *did* match the loader glob — removing those is
+    what makes old crashed runs safe to resume).  Returns how many files
+    were removed.
+    """
+    path = Path(path)
+    removed = 0
+    for pattern in (f".{path.stem}.tmp-*.npz", f"{path.stem}.tmp-*.npz"):
+        for stale in path.parent.glob(pattern):
+            try:
+                stale.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing cleanup
+                pass
+    return removed

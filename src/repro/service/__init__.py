@@ -28,6 +28,7 @@ from repro.service.solve_service import (
     ServiceEngine,
     ServiceStats,
     SolveService,
+    SolveTimeoutError,
     default_solve_service,
 )
 
@@ -38,5 +39,6 @@ __all__ = [
     "ServiceEngine",
     "ServiceStats",
     "SolveService",
+    "SolveTimeoutError",
     "default_solve_service",
 ]

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import threading
 from dataclasses import dataclass, field
@@ -56,6 +57,10 @@ from pathlib import Path
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
+
+from repro.utils import faults
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "FileFactorizationStore",
@@ -116,8 +121,11 @@ class StoreStats:
     #: format) and were treated as misses.
     failures: int = 0
     publishes: int = 0
-    #: Publish attempts declined (unsupported entry type, failed self-check).
+    #: Publish attempts declined (unsupported entry type, failed self-check,
+    #: or disk I/O errors while writing — the store is always fail-soft).
     declined: int = 0
+    #: Corrupt artifacts renamed to ``*.bad`` so they are probed exactly once.
+    quarantined: int = 0
     pruned: int = 0
     bytes_written: int = 0
     bytes_mapped: int = 0
@@ -298,7 +306,17 @@ class FileFactorizationStore:
             arrays[f"extra_{name}"] = np.ascontiguousarray(array)
 
         path = self.path_for(grid, omega, fingerprint, tag)
-        written = self._write_artifact(path, arrays, n=n, dtype=dtype)
+        try:
+            faults.on_store_op("publish")
+            written = self._write_artifact(path, arrays, n=n, dtype=dtype)
+        except OSError as error:
+            # Disk full, permissions, injected faults: the store is an
+            # accelerator, never a correctness dependency — decline and let
+            # the caller keep its in-memory factorization.
+            logger.warning("factorization store publish failed for %s: %s", path.name, error)
+            with self._lock:
+                self.stats.declined += 1
+            return False
         with self._lock:
             self.stats.publishes += 1
             self.stats.bytes_written += written
@@ -364,24 +382,60 @@ class FileFactorizationStore:
         """Map an artifact back into a solvable factorization, or None.
 
         Every failure mode — missing file, bad magic, truncation, probe
-        mismatch — is a miss; the caller factorizes fresh.
+        mismatch — is a miss; the caller factorizes fresh.  An artifact that
+        fails *structural or probe* validation is quarantined (renamed to
+        ``*.bad`` and logged once) so the same corpse is never re-mapped and
+        re-probe-failed on every subsequent miss of its fingerprint; plain
+        I/O errors (e.g. a concurrent pruner unlinking mid-read) are
+        transient and leave the file alone.
         """
         path = self.path_for(grid, omega, fingerprint, tag)
         try:
+            faults.on_store_op("load")
             entry = self._read_artifact(path, fingerprint)
         except FileNotFoundError:
             with self._lock:
                 self.stats.misses += 1
             return None
-        except (StoreArtifactError, OSError, ValueError, KeyError, json.JSONDecodeError):
+        except OSError:
             with self._lock:
                 self.stats.failures += 1
                 self.stats.misses += 1
+            return None
+        except (StoreArtifactError, ValueError, KeyError, json.JSONDecodeError) as error:
+            with self._lock:
+                self.stats.failures += 1
+                self.stats.misses += 1
+            self._quarantine(path, error)
             return None
         with self._lock:
             self.stats.hits += 1
             self.stats.bytes_mapped += entry.nbytes
         return entry
+
+    def _quarantine(self, path: Path, error: Exception) -> None:
+        """Move a corrupt artifact to ``<name>.bad`` (best-effort).
+
+        The quarantined file no longer matches the ``*.fact`` glob, so
+        enumeration, pruning and later loads never touch it again — the next
+        miss of this fingerprint goes straight to a fresh factorization
+        instead of re-mapping and re-probe-failing the same bytes.  Logged
+        once per artifact: the rename removes what would trigger the next
+        log line.
+        """
+        target = path.with_name(path.name + ".bad")
+        try:
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - racing unlink / readonly dir
+            return
+        with self._lock:
+            self.stats.quarantined += 1
+        logger.warning(
+            "quarantined corrupt factorization artifact %s -> %s (%s)",
+            path.name,
+            target.name,
+            error,
+        )
 
     def _read_header(self, path: Path) -> dict:
         with open(path, "rb") as fh:

@@ -51,8 +51,28 @@ __all__ = [
     "ServiceEngine",
     "ServiceStats",
     "SolveService",
+    "SolveTimeoutError",
     "default_solve_service",
 ]
+
+
+class SolveTimeoutError(TimeoutError):
+    """A solve request's deadline elapsed before its batch completed.
+
+    Only the timed-out request's future fails — coalesced siblings in the
+    same batch still complete.  ``group`` is the coalescing key the request
+    belonged to: ``(engine fidelity signature, grid, omega, fingerprint)``.
+    """
+
+    def __init__(self, group: tuple, timeout: float):
+        signature, grid, omega, fingerprint = group
+        super().__init__(
+            f"solve request timed out after {timeout:.3g}s "
+            f"(omega={omega:.6g}, fingerprint={str(fingerprint)[:12]}, "
+            f"signature={signature})"
+        )
+        self.group = group
+        self.timeout = timeout
 
 
 @dataclass
@@ -72,6 +92,10 @@ class ServiceStats:
     max_batch_seen: int = 0
     #: Batches flushed early because they reached ``max_batch``.
     full_flushes: int = 0
+    #: Requests failed with :class:`SolveTimeoutError`.
+    timeouts: int = 0
+    #: Batch re-dispatches after an engine failure (``max_retries``).
+    retries: int = 0
 
     def as_dict(self) -> dict:
         return {k: int(v) for k, v in self.__dict__.items()}
@@ -80,7 +104,17 @@ class ServiceStats:
 class _PendingBatch:
     """One open coalescing group: requests awaiting a flush."""
 
-    __slots__ = ("grid", "omega", "eps_r", "fingerprint", "engine", "parts", "total", "handle")
+    __slots__ = (
+        "grid",
+        "omega",
+        "eps_r",
+        "fingerprint",
+        "engine",
+        "parts",
+        "total",
+        "handle",
+        "attempt",
+    )
 
     def __init__(self, grid, omega, eps_r, fingerprint, engine):
         self.grid = grid
@@ -92,6 +126,7 @@ class _PendingBatch:
         self.parts: list[tuple[concurrent.futures.Future, np.ndarray, np.ndarray | None]] = []
         self.total = 0
         self.handle = None
+        self.attempt = 0
 
 
 class SolveService:
@@ -117,6 +152,17 @@ class SolveService:
         serialize, which maximizes coalescing of whatever arrives while one
         batch is in flight — the right default for the factorize-once
         workloads the service exists for).
+    timeout:
+        Default per-request deadline in seconds (off by default): a request
+        whose batch has not completed in time fails with
+        :class:`SolveTimeoutError` — *only* that request's future; coalesced
+        siblings still complete.  ``submit(timeout=...)`` overrides per
+        request.
+    max_retries:
+        Re-dispatches allowed when the backing engine raises from a flushed
+        batch.  Requests that already settled (e.g. timed out) are dropped
+        from the retried batch; the rest get another chance before the error
+        is forwarded to every remaining waiter.
 
     The event loop lives on a daemon thread and starts lazily on first use;
     :meth:`close` (or using the service as a context manager) tears it down.
@@ -128,13 +174,19 @@ class SolveService:
         window: float = 0.002,
         max_batch: int = 64,
         workers: int = 1,
+        timeout: float | None = None,
+        max_retries: int = 0,
     ):
         if window < 0:
             raise ValueError(f"window must be non-negative, got {window}")
         if max_batch < 1:
             raise ValueError(f"max_batch must be at least 1, got {max_batch}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive (or None), got {timeout}")
         self.window = float(window)
         self.max_batch = int(max_batch)
+        self.timeout = timeout
+        self.max_retries = max(int(max_retries), 0)
         self.engine = resolve_engine(engine)
         self.stats = ServiceStats()
         self._engines: dict[str, SolverEngine] = {}
@@ -246,6 +298,7 @@ class SolveService:
         fingerprint: str | None = None,
         x0: np.ndarray | None = None,
         engine: SolverEngine | str | None = None,
+        timeout: float | None = None,
     ) -> concurrent.futures.Future:
         """Enqueue a solve; the future resolves to the solution stack.
 
@@ -255,6 +308,10 @@ class SolveService:
         that arrive within the micro-batching window are solved in one
         engine call — the signature includes the factor precision, so
         mixed-precision tiers group strictly by dtype.
+
+        ``timeout`` (seconds, default: the service-level setting) bounds how
+        long this request may wait end to end; on expiry its future fails
+        with :class:`SolveTimeoutError` while batch siblings are unaffected.
         """
         eps_r = np.asarray(eps_r)
         rhs = np.asarray(rhs, dtype=complex)
@@ -272,6 +329,8 @@ class SolveService:
             if x0.shape != stack.shape:
                 raise ValueError(f"x0 shape {x0.shape} does not match rhs {stack.shape}")
         _, resolved = self._resolve(engine)
+        if timeout is None:
+            timeout = self.timeout
 
         inner: concurrent.futures.Future = concurrent.futures.Future()
         loop = self._ensure_loop()
@@ -286,6 +345,7 @@ class SolveService:
                 stack,
                 x0,
                 inner,
+                timeout,
             )
         except RuntimeError:
             # The loop closed under us (close() racing this submit): the
@@ -309,10 +369,19 @@ class SolveService:
         inner.add_done_callback(unwrap)
         return outer
 
-    def solve(self, grid, omega, eps_r, rhs, fingerprint=None, x0=None, engine=None):
+    def solve(
+        self, grid, omega, eps_r, rhs, fingerprint=None, x0=None, engine=None, timeout=None
+    ):
         """Blocking convenience wrapper around :meth:`submit`."""
         return self.submit(
-            grid, omega, eps_r, rhs, fingerprint=fingerprint, x0=x0, engine=engine
+            grid,
+            omega,
+            eps_r,
+            rhs,
+            fingerprint=fingerprint,
+            x0=x0,
+            engine=engine,
+            timeout=timeout,
         ).result()
 
     # Engine-shaped entry: lets the service sit anywhere a SolverEngine does.
@@ -323,7 +392,7 @@ class SolveService:
         return ServiceEngine(service=self)
 
     # -- loop-side grouping ------------------------------------------------------
-    def _enqueue(self, key, engine, eps_r, stack, x0, future) -> None:
+    def _enqueue(self, key, engine, eps_r, stack, x0, future, timeout) -> None:
         # Runs on the loop thread: single-threaded access to self._pending.
         if self._closed:
             # This callback landed in the same ready cycle as (but after)
@@ -345,9 +414,27 @@ class SolveService:
             self.stats.coalesced_rhs += stack.shape[0]
         batch.parts.append((future, stack, x0))
         batch.total += stack.shape[0]
+        if timeout is not None:
+            # Timers die with the loop; close() then cancels via _inflight,
+            # so an expiring request never outlives the service silently.
+            asyncio.get_running_loop().call_later(
+                timeout, self._expire, future, key, timeout
+            )
         if batch.total >= self.max_batch:
             self.stats.full_flushes += 1
             self._flush(key)
+
+    def _expire(self, future, key, timeout) -> None:
+        # Runs on the loop thread.  Fails exactly one request: its batch —
+        # and every coalesced sibling riding in it — keeps running, and the
+        # solver-side loops skip futures that are already done.
+        if future.done():
+            return
+        self.stats.timeouts += 1
+        try:
+            future.set_exception(SolveTimeoutError(key, timeout))
+        except concurrent.futures.InvalidStateError:  # pragma: no cover - lost race
+            pass
 
     def _flush(self, key) -> None:
         batch = self._pending.pop(key, None)
@@ -355,6 +442,10 @@ class SolveService:
             return
         if batch.handle is not None:
             batch.handle.cancel()
+        self._dispatch(batch)
+
+    def _dispatch(self, batch: _PendingBatch) -> None:
+        # Runs on the loop thread (first flush and every retry re-dispatch).
         try:
             asyncio.get_running_loop().run_in_executor(
                 self._executor, self._solve_flushed, batch
@@ -364,6 +455,19 @@ class SolveService:
             # the batch cannot run, so its waiters must not hang.
             for future, _, _ in batch.parts:
                 future.cancel()
+
+    def _requeue(self, batch: _PendingBatch) -> None:
+        # Runs on the loop thread: retry a failed batch minus the requests
+        # that already settled (timed out / cancelled) in the meantime.
+        batch.parts = [part for part in batch.parts if not part[0].done()]
+        batch.total = sum(stack.shape[0] for _, stack, _ in batch.parts)
+        if not batch.parts:
+            return
+        if self._closed:
+            for future, _, _ in batch.parts:
+                future.cancel()
+            return
+        self._dispatch(batch)
 
     # -- executor-side solving ---------------------------------------------------
     def _solve_flushed(self, batch: _PendingBatch) -> None:
@@ -388,6 +492,22 @@ class SolveService:
                 x0=x0,
             )
         except BaseException as error:  # noqa: BLE001 - forwarded to every waiter
+            if (
+                batch.attempt < self.max_retries
+                and not isinstance(
+                    error, (KeyboardInterrupt, SystemExit, concurrent.futures.CancelledError)
+                )
+                and any(not part[0].done() for part in batch.parts)
+            ):
+                batch.attempt += 1
+                self.stats.retries += 1
+                loop = self._loop
+                if loop is not None:
+                    try:
+                        loop.call_soon_threadsafe(self._requeue, batch)
+                        return
+                    except RuntimeError:  # pragma: no cover - close() raced us
+                        pass
             for future, _, _ in batch.parts:
                 if not future.done():
                     future.set_exception(error)

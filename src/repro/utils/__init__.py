@@ -3,6 +3,14 @@
 from repro.utils.rng import get_rng, seed_everything
 from repro.utils.config import Config
 from repro.utils.parallel import cpu_count, effective_workers, run_tasks
+from repro.utils.executor import (
+    ExecutorConfig,
+    LocalPoolExecutor,
+    TaskExecutor,
+    TaskFailure,
+    TaskReport,
+    execute_tasks,
+)
 from repro.utils.numerics import (
     normalized_l2,
     cosine_similarity,
@@ -17,6 +25,12 @@ __all__ = [
     "cpu_count",
     "effective_workers",
     "run_tasks",
+    "ExecutorConfig",
+    "LocalPoolExecutor",
+    "TaskExecutor",
+    "TaskFailure",
+    "TaskReport",
+    "execute_tasks",
     "normalized_l2",
     "cosine_similarity",
     "complex_to_channels",

@@ -5,14 +5,17 @@ function over a task list.  :func:`run_tasks` keeps that seam small: results
 always come back in task order, ``workers <= 1`` runs everything in-process
 (no pickling, no subprocesses — the debuggable path), and environments where
 process pools cannot start (restricted sandboxes) degrade to the serial path
-instead of crashing.
+instead of crashing.  Since the fault-tolerant task fabric landed
+(:mod:`repro.utils.executor`), ``run_tasks`` is a thin wrapper over
+:func:`repro.utils.executor.execute_tasks` — same signature, bit-identical
+ordered results — with optional per-task deadlines and bounded retries.
 """
 
 from __future__ import annotations
 
 import os
 from collections import deque
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 
 
 def cpu_count() -> int:
@@ -121,47 +124,41 @@ class Prefetcher:
         self.close()
 
 
-def run_tasks(fn, tasks, workers: int | None = 1, initializer=None, initargs=()):
+def run_tasks(
+    fn,
+    tasks,
+    workers: int | None = 1,
+    initializer=None,
+    initargs=(),
+    *,
+    timeout: float | None = None,
+    max_retries: int = 0,
+    retry_backoff: float = 0.25,
+):
     """Map ``fn`` over ``tasks``, preserving order.
 
-    With ``workers`` resolved to more than one, tasks fan out over a
-    ``ProcessPoolExecutor`` (``fn`` and every task must be picklable).
-    Pool-infrastructure failures — worker processes that cannot be spawned
-    (restricted sandboxes, fork EAGAIN) or a pool that dies mid-flight —
-    degrade to the serial in-process path, so ``fn`` must be idempotent.
-    Exceptions raised by ``fn`` itself propagate in both modes: they re-raise
-    from the futures and are never mistaken for pool failures.
+    With ``workers`` resolved to more than one, tasks fan out over the
+    fault-tolerant task fabric (``fn`` and every task must be picklable, and
+    ``fn`` must be idempotent): each worker slot is an isolated process, so a
+    crashed or killed worker invalidates only its own in-flight task — that
+    task is requeued onto a respawned worker while completed results are
+    kept.  Environments where pools cannot start at all degrade to the serial
+    in-process path, reusing any results already computed.  Exceptions raised
+    by ``fn`` itself propagate in both modes (after ``max_retries``
+    re-executions — zero by default, matching the historical contract) and
+    are never mistaken for pool failures.
 
-    ``initializer(*initargs)`` runs once per worker process before any task
-    (the generator uses it to attach the shared factorization store to each
-    worker's cache); the serial path runs it once in-process so both modes see
-    identically-prepared workers.  Initializer crashes in a pool surface as
-    ``BrokenExecutor`` and thus also degrade to the serial path — where the
-    same crash, if it reproduces, propagates undisguised.
+    ``timeout`` sets a per-task deadline (seconds): a task that exceeds it
+    has its worker killed and is retried on a fresh one; deadlines are not
+    enforced on the serial path.  ``initializer(*initargs)`` runs once per
+    worker process before any task; the serial path runs it once in-process
+    so both modes see identically-prepared workers.
     """
-    tasks = list(tasks)
-    workers = effective_workers(workers, len(tasks))
+    from repro.utils.executor import ExecutorConfig, execute_tasks
 
-    def run_serial():
-        if initializer is not None:
-            initializer(*initargs)
-        return [fn(task) for task in tasks]
-
-    if workers <= 1 or len(tasks) <= 1:
-        return run_serial()
-    executor = ProcessPoolExecutor(
-        max_workers=workers, initializer=initializer, initargs=tuple(initargs)
+    config = ExecutorConfig(timeout=timeout, max_retries=max_retries, backoff=retry_backoff)
+    report = execute_tasks(
+        fn, tasks, workers=workers, config=config, initializer=initializer, initargs=initargs
     )
-    try:
-        try:
-            # Worker spawn is lazy in CPython: submit() is where spawn
-            # failures surface, distinct from errors fn raises later.
-            futures = [executor.submit(fn, task) for task in tasks]
-        except (OSError, PermissionError):  # pragma: no cover - spawn failure
-            return run_serial()
-        try:
-            return [future.result() for future in futures]
-        except BrokenExecutor:  # pragma: no cover - pool died mid-run
-            return run_serial()
-    finally:
-        executor.shutdown(wait=True, cancel_futures=True)
+    report.raise_first()
+    return report.results

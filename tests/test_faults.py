@@ -1,0 +1,247 @@
+"""Tests for the deterministic fault-injection harness (repro.utils.faults)
+and its end-to-end recovery contracts through :class:`DatasetGenerator`."""
+
+import os
+import time
+
+import pytest
+
+from repro.data.dataset import datasets_bit_identical
+from repro.data.generator import (
+    DatasetGenerator,
+    GeneratorConfig,
+    ShardExecutionError,
+)
+import repro.data.generator as generator_module
+from repro.data.shards import run_shard as real_run_shard
+from repro.fdfd.engine import default_factorization_cache
+from repro.service.cache_store import FileFactorizationStore
+from repro.utils import faults
+
+from tests.conftest import TINY_DEVICE_KWARGS
+
+
+BASE_CONFIG = dict(
+    device_name="bending",
+    strategy="random",
+    num_designs=4,
+    with_gradient=False,
+    seed=3,
+    device_kwargs=TINY_DEVICE_KWARGS,
+    shard_size=2,
+    fidelities=("low",),
+    max_retries=2,
+    retry_backoff=0.05,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    faults.clear_plan()
+    yield
+    faults.clear_plan()
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """One fault-free reference dataset the fault runs must reproduce."""
+    shard_dir = tmp_path_factory.mktemp("baseline-shards")
+    faults.clear_plan()
+    generator = DatasetGenerator(GeneratorConfig(shard_dir=str(shard_dir), **BASE_CONFIG))
+    return generator.generate(workers=2)
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = faults.FaultPlan(
+            kill_task=3, delay_task=1, delay_seconds=0.5, truncate_shard=2,
+            store_errors=2, store_ops=("load",), scratch="/tmp/x",
+        )
+        assert faults.FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault-plan keys"):
+            faults.FaultPlan.from_json('{"explode_randomly": true}')
+
+    def test_env_plan_resolution_tracks_changes(self, monkeypatch):
+        assert faults.get_plan() is None
+        monkeypatch.setenv(faults.ENV_VAR, faults.FaultPlan(kill_task=1).to_json())
+        assert faults.get_plan().kill_task == 1
+        monkeypatch.setenv(faults.ENV_VAR, faults.FaultPlan(kill_task=2).to_json())
+        assert faults.get_plan().kill_task == 2
+        monkeypatch.delenv(faults.ENV_VAR)
+        assert faults.get_plan() is None
+
+    def test_active_plan_installs_and_restores(self):
+        assert faults.get_plan() is None
+        with faults.active_plan(faults.FaultPlan(delay_task=0)) as plan:
+            assert faults.get_plan() is plan
+            assert faults.ENV_VAR in os.environ  # workers inherit via env
+        assert faults.get_plan() is None
+        assert faults.ENV_VAR not in os.environ
+
+
+class TestInjectors:
+    def test_all_hooks_noop_when_disabled(self, tmp_path):
+        artifact = tmp_path / "shard.npz"
+        artifact.write_bytes(b"payload")
+        assert faults.on_task_start(0) is None
+        faults.on_store_op("load")  # must not raise
+        faults.on_shard_saved(0, artifact)
+        assert artifact.read_bytes() == b"payload"  # untouched
+
+    def test_kill_is_noop_outside_workers(self, tmp_path):
+        faults.install_plan(
+            faults.FaultPlan(kill_task=0, scratch=str(tmp_path))
+        )
+        # Not marked as a worker: surviving this call is the assertion.
+        assert faults.on_task_start(0) is None
+
+    def test_delay_fires_exactly_once(self, tmp_path):
+        faults.install_plan(
+            faults.FaultPlan(delay_task=0, delay_seconds=0.2, scratch=str(tmp_path))
+        )
+        start = time.monotonic()
+        faults.on_task_start(0)
+        first = time.monotonic() - start
+        start = time.monotonic()
+        faults.on_task_start(0)  # marker already claimed
+        second = time.monotonic() - start
+        assert first >= 0.2
+        assert second < 0.1
+
+    def test_store_errors_fire_exactly_n_times(self, tmp_path):
+        faults.install_plan(
+            faults.FaultPlan(store_errors=2, store_ops=("load",), scratch=str(tmp_path))
+        )
+        for _ in range(2):
+            with pytest.raises(OSError, match="injected fault"):
+                faults.on_store_op("load")
+        faults.on_store_op("load")  # budget exhausted: no-op
+        faults.on_store_op("publish")  # op not in plan: no-op
+
+    def test_truncate_targets_one_shard(self, tmp_path):
+        faults.install_plan(faults.FaultPlan(truncate_shard=1, scratch=str(tmp_path)))
+        target = tmp_path / "one.npz"
+        other = tmp_path / "zero.npz"
+        target.write_bytes(b"x" * 100)
+        other.write_bytes(b"y" * 100)
+        faults.on_shard_saved(0, other)
+        faults.on_shard_saved(1, target)
+        faults.on_shard_saved(1, target)  # fires once
+        assert other.stat().st_size == 100
+        assert target.stat().st_size == 50
+
+    def test_scratch_markers_shared_across_plan_reloads(self, tmp_path):
+        plan = faults.FaultPlan(delay_task=0, delay_seconds=0.2, scratch=str(tmp_path))
+        with faults.active_plan(plan):
+            faults.on_task_start(0)
+        # A "new process" (fresh local state, same scratch) must see the claim.
+        with faults.active_plan(plan):
+            start = time.monotonic()
+            faults.on_task_start(0)
+            assert time.monotonic() - start < 0.1
+
+
+class TestStoreFaults:
+    def test_injected_load_fault_is_failsoft(self, tmp_path):
+        store = FileFactorizationStore(tmp_path / "store")
+        faults.install_plan(
+            faults.FaultPlan(store_errors=1, store_ops=("load",), scratch=str(tmp_path))
+        )
+
+        class _Grid:
+            nx, ny, dl, npml = 8, 8, 0.1, 2
+
+        assert store.load(_Grid(), 1.0, "fp", "direct") is None
+        assert store.stats.failures == 1  # injected fault, swallowed
+        assert store.load(_Grid(), 1.0, "fp", "direct") is None
+        assert store.stats.failures == 1  # budget spent: plain miss now
+
+
+class TestGeneratorFaultRecovery:
+    def test_worker_death_recovers_bit_identical(self, baseline, tmp_path):
+        default_factorization_cache.clear()
+        plan = faults.FaultPlan(kill_task=0, scratch=str(tmp_path / "scratch"))
+        with faults.active_plan(plan):
+            generator = DatasetGenerator(
+                GeneratorConfig(shard_dir=str(tmp_path / "shards"), **BASE_CONFIG)
+            )
+            dataset = generator.generate(workers=2)
+        report = generator.last_task_report
+        assert datasets_bit_identical(baseline, dataset)
+        assert report.worker_crashes == 1
+        assert report.respawns >= 1
+        assert report.wasted_executions() <= 1  # < 1 re-shard of waste
+        assert not report.serial_fallback
+
+    def test_task_timeout_recovers_bit_identical(self, baseline, tmp_path):
+        default_factorization_cache.clear()
+        plan = faults.FaultPlan(
+            delay_task=0, delay_seconds=30.0, scratch=str(tmp_path / "scratch")
+        )
+        config = GeneratorConfig(
+            shard_dir=str(tmp_path / "shards"), task_timeout=1.5, **BASE_CONFIG
+        )
+        with faults.active_plan(plan):
+            generator = DatasetGenerator(config)
+            start = time.monotonic()
+            dataset = generator.generate(workers=2)
+            elapsed = time.monotonic() - start
+        report = generator.last_task_report
+        assert datasets_bit_identical(baseline, dataset)
+        assert report.timeouts >= 1
+        assert report.wasted_executions() <= 1
+        assert elapsed < 25.0  # never sat out the injected 30 s delay
+
+    def test_truncated_shard_quarantined_and_recovered(self, baseline, tmp_path):
+        default_factorization_cache.clear()
+        shard_dir = tmp_path / "shards"
+        plan = faults.FaultPlan(truncate_shard=1, scratch=str(tmp_path / "scratch"))
+        with faults.active_plan(plan):
+            generator = DatasetGenerator(GeneratorConfig(shard_dir=str(shard_dir), **BASE_CONFIG))
+            dataset = generator.generate(workers=2)
+        assert datasets_bit_identical(baseline, dataset)
+        assert generator.last_shard_recoveries == 1
+        assert list(shard_dir.glob("*.bad*")), "corpse was not quarantined"
+
+        # The recovery rewrote a valid artifact: a resumed run reuses
+        # everything and recomputes nothing.
+        resumed = DatasetGenerator(GeneratorConfig(shard_dir=str(shard_dir), **BASE_CONFIG))
+        dataset2 = resumed.generate(workers=2)
+        assert datasets_bit_identical(baseline, dataset2)
+        assert resumed.last_task_report.attempts == {}
+
+    def test_permanent_failure_surfaces_and_resume_recomputes_exactly_it(
+        self, baseline, tmp_path, monkeypatch
+    ):
+        shard_dir = tmp_path / "shards"
+        config = GeneratorConfig(
+            shard_dir=str(shard_dir), **{**BASE_CONFIG, "max_retries": 1}
+        )
+
+        def failing_run_shard(task):
+            if task.spec.index == 1:
+                raise RuntimeError("injected permanent shard failure")
+            return real_run_shard(task)
+
+        monkeypatch.setattr(generator_module, "run_shard", failing_run_shard)
+        generator = DatasetGenerator(config)
+        with pytest.raises(ShardExecutionError) as excinfo:
+            generator.generate(workers=1)
+        error = excinfo.value
+        assert len(error.shard_failures) == 1
+        assert error.shard_failures[0][0].spec.index == 1
+        assert error.report.attempts[1] == 2  # initial + one retry
+        # The sibling shard completed and persisted despite the failure.
+        artifacts = sorted(shard_dir.glob("shard_*.npz"))
+        assert len(artifacts) == 1
+        mtime_before = artifacts[0].stat().st_mtime_ns
+
+        # Fault gone: a resumed run recomputes exactly the lost shard.
+        monkeypatch.setattr(generator_module, "run_shard", real_run_shard)
+        resumed = DatasetGenerator(config)
+        dataset = resumed.generate(workers=1)
+        assert datasets_bit_identical(baseline, dataset)
+        assert len(resumed.last_task_report.attempts) == 1  # one shard ran
+        assert artifacts[0].stat().st_mtime_ns == mtime_before  # untouched

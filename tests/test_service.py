@@ -40,6 +40,7 @@ from repro.service import (
     FileFactorizationStore,
     ServiceEngine,
     SolveService,
+    SolveTimeoutError,
     default_store_budget_bytes,
 )
 from repro.service.cache_store import StoredFactorization
@@ -788,3 +789,181 @@ class TestGeneratorStoreWiring:
             default_factorization_cache.attach_store(None)
         assert len(dataset) == 2
         assert len(list(store_dir.glob("*.fact"))) >= 1
+
+
+# --------------------------------------------------------------------------- #
+# request deadlines, batch retries, and artifact quarantine
+# --------------------------------------------------------------------------- #
+class _SlowEngine(DirectEngine):
+    """Direct tier with an injected per-batch delay (tests deadlines)."""
+
+    def __init__(self, delay, **kwargs):
+        super().__init__(**kwargs)
+        self._delay = delay
+
+    def solve_batch(self, *args, **kwargs):
+        time.sleep(self._delay)
+        return super().solve_batch(*args, **kwargs)
+
+
+class _FlakyEngine(DirectEngine):
+    """Direct tier that raises on its first ``fail_times`` batches."""
+
+    def __init__(self, fail_times, **kwargs):
+        super().__init__(**kwargs)
+        self._remaining = fail_times
+
+    def solve_batch(self, *args, **kwargs):
+        if self._remaining > 0:
+            self._remaining -= 1
+            raise RuntimeError("transient engine failure")
+        return super().solve_batch(*args, **kwargs)
+
+
+class TestServiceTimeouts:
+    def test_timeout_fails_only_the_timed_out_request(self, tiny_problem):
+        grid, eps, fingerprint = tiny_problem
+        rhs = _rhs_stack(grid, 2)
+        reference = DirectEngine(cache=FactorizationCache()).solve_batch(
+            grid, OMEGA, eps, rhs, fingerprint=fingerprint
+        )
+        with SolveService(
+            engine=_SlowEngine(1.0, cache=FactorizationCache()), window=0.02
+        ) as service:
+            # Both requests coalesce into one batch; only the one carrying a
+            # deadline shorter than the engine delay may fail.
+            impatient = service.submit(
+                grid, OMEGA, eps, rhs[0], fingerprint=fingerprint, timeout=0.2
+            )
+            patient = service.submit(grid, OMEGA, eps, rhs[1], fingerprint=fingerprint)
+            with pytest.raises(SolveTimeoutError) as excinfo:
+                impatient.result(timeout=30)
+            np.testing.assert_array_equal(patient.result(timeout=30), reference[1])
+            assert service.stats.timeouts == 1
+            assert service.stats.batches == 1  # sibling was never re-solved
+        error = excinfo.value
+        assert error.timeout == pytest.approx(0.2)
+        signature, group_grid, omega, group_fingerprint = error.group
+        assert group_fingerprint == fingerprint
+        assert group_grid is grid and omega == pytest.approx(OMEGA)
+        assert "timed out" in str(error)
+
+    def test_service_level_default_timeout(self, tiny_problem):
+        grid, eps, fingerprint = tiny_problem
+        rhs = _rhs_stack(grid, 1)[0]
+        with SolveService(
+            engine=_SlowEngine(5.0, cache=FactorizationCache()),
+            window=0.02,
+            timeout=0.2,
+        ) as service:
+            future = service.submit(grid, OMEGA, eps, rhs, fingerprint=fingerprint)
+            with pytest.raises(SolveTimeoutError):
+                future.result(timeout=30)
+        assert service.stats.timeouts == 1
+
+    def test_request_completing_in_time_is_unaffected(self, tiny_problem):
+        grid, eps, fingerprint = tiny_problem
+        rhs = _rhs_stack(grid, 1)[0]
+        reference = DirectEngine(cache=FactorizationCache()).solve_batch(
+            grid, OMEGA, eps, rhs[None], fingerprint=fingerprint
+        )[0]
+        with SolveService(engine=DirectEngine(cache=FactorizationCache())) as service:
+            result = service.solve(
+                grid, OMEGA, eps, rhs, fingerprint=fingerprint, timeout=30.0
+            )
+        np.testing.assert_array_equal(result, reference)
+        assert service.stats.timeouts == 0
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout"):
+            SolveService(timeout=0.0)
+
+
+class TestServiceRetries:
+    def test_flaky_batch_retried_transparently(self, tiny_problem):
+        grid, eps, fingerprint = tiny_problem
+        rhs = _rhs_stack(grid, 1)[0]
+        reference = DirectEngine(cache=FactorizationCache()).solve_batch(
+            grid, OMEGA, eps, rhs[None], fingerprint=fingerprint
+        )[0]
+        with SolveService(
+            engine=_FlakyEngine(1, cache=FactorizationCache()),
+            window=0.02,
+            max_retries=1,
+        ) as service:
+            result = service.solve(grid, OMEGA, eps, rhs, fingerprint=fingerprint)
+        np.testing.assert_array_equal(result, reference)
+        assert service.stats.retries == 1
+        assert service.stats.batches == 2
+
+    def test_retries_exhausted_forwards_the_error(self, tiny_problem):
+        grid, eps, fingerprint = tiny_problem
+        rhs = _rhs_stack(grid, 1)[0]
+        with SolveService(
+            engine=_FlakyEngine(10, cache=FactorizationCache()),
+            window=0.02,
+            max_retries=1,
+        ) as service:
+            future = service.submit(grid, OMEGA, eps, rhs, fingerprint=fingerprint)
+            with pytest.raises(RuntimeError, match="transient engine failure"):
+                future.result(timeout=30)
+        assert service.stats.retries == 1
+
+
+class TestStoreQuarantine:
+    def _published(self, tmp_path, grid, eps, fingerprint):
+        store = FileFactorizationStore(tmp_path)
+        lu = spla.splu(assemble_system_matrix(grid, OMEGA, eps).tocsc())
+        assert store.publish(grid, OMEGA, fingerprint, "direct", lu)
+        return store
+
+    def test_corrupt_artifact_quarantined_once(self, tmp_path, tiny_problem, caplog):
+        grid, eps, fingerprint = tiny_problem
+        store = self._published(tmp_path, grid, eps, fingerprint)
+        path = store.path_for(grid, OMEGA, fingerprint, "direct")
+        path.write_bytes(b"not an artifact at all")
+        with caplog.at_level("WARNING", logger="repro.service.cache_store"):
+            assert store.load(grid, OMEGA, fingerprint, "direct") is None
+            assert store.load(grid, OMEGA, fingerprint, "direct") is None
+        assert store.stats.failures == 1  # second load is a plain miss
+        assert store.stats.misses == 2
+        assert store.stats.quarantined == 1
+        assert not path.exists()
+        assert path.with_name(path.name + ".bad").exists()
+        quarantine_logs = [r for r in caplog.records if "quarantined" in r.message]
+        assert len(quarantine_logs) == 1
+
+    def test_quarantined_artifact_invisible_to_enumeration(self, tmp_path, tiny_problem):
+        grid, eps, fingerprint = tiny_problem
+        store = self._published(tmp_path, grid, eps, fingerprint)
+        path = store.path_for(grid, OMEGA, fingerprint, "direct")
+        path.write_bytes(b"garbage")
+        assert store.load(grid, OMEGA, fingerprint, "direct") is None
+        assert len(store) == 0  # the corpse no longer counts against the budget
+
+    def test_transient_io_error_does_not_quarantine(self, tmp_path, tiny_problem, monkeypatch):
+        grid, eps, fingerprint = tiny_problem
+        store = self._published(tmp_path, grid, eps, fingerprint)
+        path = store.path_for(grid, OMEGA, fingerprint, "direct")
+        monkeypatch.setattr(
+            store,
+            "_read_artifact",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("disk hiccup")),
+        )
+        assert store.load(grid, OMEGA, fingerprint, "direct") is None
+        assert store.stats.failures == 1
+        assert store.stats.quarantined == 0
+        assert path.exists()  # transient errors leave the artifact alone
+
+    def test_publish_failsoft_on_disk_errors(self, tmp_path, tiny_problem, monkeypatch):
+        grid, eps, fingerprint = tiny_problem
+        store = FileFactorizationStore(tmp_path)
+        lu = spla.splu(assemble_system_matrix(grid, OMEGA, eps).tocsc())
+        monkeypatch.setattr(
+            store,
+            "_write_artifact",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("disk full")),
+        )
+        assert store.publish(grid, OMEGA, fingerprint, "direct", lu) is False
+        assert store.stats.declined == 1
+        assert store.stats.publishes == 0
