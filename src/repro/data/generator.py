@@ -45,7 +45,12 @@ from repro.data.shards import (
     try_load_shard,
 )
 from repro.devices.factory import make_device
-from repro.fdfd.engine import SolverEngine, available_engines, split_engine_name
+from repro.fdfd.engine import (
+    SolverEngine,
+    available_engines,
+    load_engine_tiers,
+    split_engine_name,
+)
 from repro.utils import backend as array_backend
 from repro.utils.executor import ExecutorConfig, TaskFailure, TaskReport, execute_tasks
 from repro.utils.parallel import effective_workers
@@ -147,6 +152,11 @@ class GeneratorConfig:
     num_designs: int = 32
     fidelities: tuple[str, ...] = ("low",)
     with_gradient: bool = True
+    #: Broadband mode: label every spec at each of these wavelengths instead
+    #: of its own (forward-only — requires ``with_gradient=False``).  With
+    #: ``engine="fdtd"`` one pulsed time-domain run per excitation covers the
+    #: whole set; other engines solve once per wavelength.
+    wavelengths: tuple[float, ...] | None = None
     seed: int = 0
     strategy_kwargs: dict | None = None
     device_kwargs: dict | None = None
@@ -181,6 +191,11 @@ class DatasetGenerator:
         #: many unreadable worker artifacts the parent recovered in-process.
         self.last_task_report: TaskReport | None = None
         self.last_shard_recoveries: int = 0
+        if config.wavelengths is not None and config.with_gradient:
+            raise ValueError(
+                "broadband generation (wavelengths=...) is forward-only; "
+                "set with_gradient=False"
+            )
         self._validate_engine()
         if config.backend:
             # Resolve eagerly: a mis-provisioned backend (bad name, missing
@@ -205,10 +220,9 @@ class DatasetGenerator:
                 # must exist in the registry.
                 base, _ = split_engine_name(engine)
                 if base not in available_engines():
-                    try:
-                        import repro.surrogate.neural_solver  # noqa: F401
-                    except ImportError:  # pragma: no cover - NN stack unavailable
-                        pass
+                    # Optional tiers (neural, service, fdtd) register on
+                    # import; pull them all in before declaring the name bad.
+                    load_engine_tiers()
                 if base not in available_engines():
                     raise ValueError(
                         f"unknown engine {engine!r} for fidelity {fidelity!r}; "
@@ -400,6 +414,8 @@ class DatasetGenerator:
                 for fidelity in config.fidelities
             },
         }
+        if config.wavelengths is not None:
+            metadata["wavelengths"] = [float(w) for w in config.wavelengths]
         return PhotonicDataset.from_labels(labels, design_ids, metadata=metadata)
 
     def _has_engine_instance(self) -> bool:
@@ -423,6 +439,7 @@ def generate_dataset(
     engine: SolverEngine | str | dict | None = None,
     workers: int = 1,
     shard_dir: str | None = None,
+    wavelengths: tuple[float, ...] | None = None,
 ) -> PhotonicDataset:
     """One-call dataset generation (see :class:`DatasetGenerator`)."""
     config = GeneratorConfig(
@@ -437,6 +454,7 @@ def generate_dataset(
         engine=engine,
         workers=workers,
         shard_dir=shard_dir,
+        wavelengths=wavelengths,
     )
     return DatasetGenerator(config).generate()
 
@@ -568,6 +586,19 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="skip adjoint-gradient labels (forward-only dataset)",
     )
     parser.add_argument(
+        "--wavelengths",
+        nargs="+",
+        type=float,
+        default=None,
+        metavar="UM",
+        help=(
+            "broadband mode: label every spec at each of these wavelengths "
+            "(micrometres) instead of its own; forward-only, so requires "
+            "--no-gradient.  With --engine fdtd one pulsed time-domain run "
+            "per excitation covers the whole set"
+        ),
+    )
+    parser.add_argument(
         "--device-kwargs", type=_parse_json_dict, default=None, help="JSON object"
     )
     parser.add_argument(
@@ -585,6 +616,7 @@ def main(argv: list[str] | None = None) -> int:
         num_designs=args.num_designs,
         fidelities=tuple(args.fidelities),
         with_gradient=not args.no_gradient,
+        wavelengths=tuple(args.wavelengths) if args.wavelengths else None,
         seed=args.seed,
         strategy_kwargs=args.strategy_kwargs,
         device_kwargs=args.device_kwargs,

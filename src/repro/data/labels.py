@@ -67,6 +67,7 @@ def extract_labels_batch(
     stage: str = "unknown",
     backend: FieldBackend | None = None,
     engine: SolverEngine | str | None = None,
+    wavelengths=None,
 ) -> list[RichLabels]:
     """Simulate one design under many excitation specs and extract all labels.
 
@@ -100,11 +101,20 @@ def extract_labels_batch(
         Solver engine or registry name (``"direct"``, ``"iterative"``, ...)
         selecting the fidelity tier of the default numerical backend.
         Mutually exclusive with ``backend``.
+    wavelengths:
+        Broadband mode: label every spec at each of these wavelengths
+        (overriding the specs' own), wavelength-major, forward-only
+        (``with_gradient`` must be False).  With ``engine="fdtd"`` one pulsed
+        time-domain run per excitation serves all wavelengths; any other
+        engine solves once per wavelength (see
+        :func:`repro.invdes.adjoint.evaluate_specs`).
     """
     if backend is None:
         backend = NumericalFieldBackend(engine=engine)
     elif engine is not None:
         raise ValueError("pass either backend or engine, not both")
+    if wavelengths is not None and with_gradient:
+        raise ValueError("broadband labels are forward-only; pass with_gradient=False")
     if specs is None:
         specs = list(range(len(device.specs)))
     resolved: list[tuple[int, TargetSpec]] = []
@@ -120,7 +130,15 @@ def extract_labels_batch(
         specs=[spec for _, spec in resolved],
         backend=backend,
         compute_gradient=with_gradient,
+        wavelengths=wavelengths,
     )
+
+    # Broadband evaluations come back wavelength-major (all specs at the
+    # first wavelength, then all at the second, ...); replicate the
+    # (spec_index, spec) pairing accordingly.  Each evaluation's spec carries
+    # its actual wavelength, which is what the labels below record.
+    reps = 1 if not resolved else len(evaluations) // len(resolved)
+    expanded = [pair for _ in range(reps) for pair in resolved]
 
     # Full-grid permittivities and residual simulations are shared across the
     # specs of a design: one per device state / (wavelength, state) pair.
@@ -128,7 +146,8 @@ def extract_labels_batch(
     sim_by_key: dict[tuple, object] = {}
 
     labels = []
-    for (spec_index, spec), evaluation in zip(resolved, evaluations):
+    for (spec_index, _), evaluation in zip(expanded, evaluations):
+        spec = evaluation.spec
         result = evaluation.result
         sim_key = simulation_group_key(spec)
         state_key = sim_key[1]

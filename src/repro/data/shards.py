@@ -217,6 +217,11 @@ def shard_fingerprint(
         if weights is not None
         else [1.0] * len(densities),
     }
+    wavelengths = getattr(config, "wavelengths", None)
+    if wavelengths is not None:
+        # Only stamped when broadband mode is on, so every pre-existing
+        # single-wavelength artifact keeps its fingerprint (and resumability).
+        payload["wavelengths"] = [float(w) for w in wavelengths]
     digest = hashlib.sha1(json.dumps(payload, sort_keys=True, default=str).encode())
     for density in densities:
         density = np.ascontiguousarray(np.asarray(density, dtype=float))
@@ -281,9 +286,11 @@ def run_shard(task: ShardTask):
     device = make_device(
         config.device_name, fidelity=spec.fidelity, **(config.device_kwargs or {})
     )
-    warmup_operators(
-        device.grid, [wavelength_to_omega(s.wavelength) for s in device.specs]
-    )
+    wavelengths = getattr(config, "wavelengths", None)
+    # Broadband shards touch the operators at the extraction wavelengths
+    # (residual labels), not at the specs' own.
+    warm = list(wavelengths) if wavelengths else [s.wavelength for s in device.specs]
+    warmup_operators(device.grid, [wavelength_to_omega(w) for w in warm])
     engine = engine_for_fidelity(config.engine, spec.fidelity)
 
     labels: list[RichLabels] = []
@@ -303,6 +310,7 @@ def run_shard(task: ShardTask):
             fidelity=spec.fidelity,
             stage=stage,
             engine=engine,
+            wavelengths=wavelengths,
         )
         for label in design_labels:
             # The acquisition weight rides in the label extras, which shard

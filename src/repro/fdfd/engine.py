@@ -1614,33 +1614,44 @@ def split_engine_name(name: str) -> tuple[str, str | None]:
     return base.lower().strip(), (spec.strip() if sep else None)
 
 
+def load_engine_tiers() -> None:
+    """Import every optional package that registers engine tiers.
+
+    The surrogate package registers the "neural" tier on import, the service
+    package the "service" tier and the time-domain package the "fdtd" tier;
+    importing them lazily keeps plain FDFD users from paying for (or
+    depending on) those stacks.  :func:`make_engine` calls this before
+    reporting an unknown name, so its error message lists every tier that
+    actually exists; config validators (e.g. the dataset generator) call it
+    before checking names against :func:`available_engines`.
+    """
+    for module in (
+        "repro.surrogate.neural_solver",
+        "repro.service.solve_service",
+        "repro.fdtd.engine",
+    ):
+        try:
+            __import__(module)
+        except ImportError:  # pragma: no cover - optional stack unavailable
+            pass
+
+
 def make_engine(name: str, **kwargs) -> SolverEngine:
     """Instantiate a solver engine by name.
 
     ``"direct"``/``"high"`` build the exact :class:`DirectEngine`,
     ``"iterative"``/``"low"``/``"bicgstab"``/``"gmres"`` the approximate
     :class:`IterativeEngine`, ``"recycled"`` the optimization-loop
-    :class:`RecycledEngine`, and ``"neural"`` the surrogate engine (requires
-    ``model=...``; registered when :mod:`repro.surrogate` is imported).
-    ``"neural:<checkpoint.npz>"`` loads a promoted surrogate checkpoint — the
-    name form that lets the AI tier travel through configs and process
-    boundaries.
+    :class:`RecycledEngine`, ``"fdtd"`` the time-domain tier (registered when
+    :mod:`repro.fdtd` is imported), and ``"neural"`` the surrogate engine
+    (requires ``model=...``; registered when :mod:`repro.surrogate` is
+    imported).  ``"neural:<checkpoint.npz>"`` loads a promoted surrogate
+    checkpoint — the name form that lets the AI tier travel through configs
+    and process boundaries.
     """
     key, spec = split_engine_name(name)
     if key not in _ENGINE_FACTORIES:
-        # The surrogate package registers the "neural" tier on import, and
-        # the service package the "service" tier; do it lazily so plain FDFD
-        # users never pay for (or depend on) those stacks.  Also run it
-        # before reporting an unknown name, so the error message lists every
-        # tier that actually exists.
-        try:
-            import repro.surrogate.neural_solver  # noqa: F401
-        except ImportError:  # pragma: no cover - NN stack unavailable
-            pass
-        try:
-            import repro.service.solve_service  # noqa: F401
-        except ImportError:  # pragma: no cover - service stack unavailable
-            pass
+        load_engine_tiers()
     if key not in _ENGINE_FACTORIES:
         raise ValueError(f"unknown engine {name!r}; available: {available_engines()}")
     factory = _ENGINE_FACTORIES[key]

@@ -13,6 +13,44 @@ import numpy as np
 
 from repro.constants import MICROMETRE
 
+#: Relative guard added before flooring so floating-point noise in
+#: ``position / dl`` (e.g. ``0.3 / 0.1 -> 2.999...``) cannot flip an index
+#: across a cell boundary.
+_INDEX_EPS = 1e-9
+
+
+def cell_index(position_um: float, dl: float) -> int:
+    """Index of the cell *owning* a physical coordinate: ``floor(p / dl)``.
+
+    This is the single rounding rule for point-like lookups (port planes,
+    source positions, probe points).  Cell ``i`` spans the half-open interval
+    ``[i * dl, (i + 1) * dl)`` with its field sample at the centre
+    ``(i + 0.5) * dl``; a coordinate exactly on a cell boundary belongs to the
+    cell above it.  Note ``floor(p / dl)`` is also the cell whose *centre* is
+    nearest to ``p`` (ties broken upward), so selecting the owning cell and
+    selecting the nearest field sample agree.
+
+    Python's ``round()`` and ``np.round`` (both half-to-even) are deliberately
+    not used anywhere in index conversions: they select the nearest *grid
+    line* rather than the owning cell — half a cell off from the field sample
+    — and their banker's tie-breaking made the result depend on index parity,
+    so a port at an exact half-cell position could inject its source on one
+    row and measure flux on another.
+    """
+    return int(np.floor(position_um / dl + _INDEX_EPS))
+
+
+def slice_bound(position_um: float, dl: float) -> int:
+    """Index bound for a half-open interval: round-half-up ``floor(p/dl + 0.5)``.
+
+    The companion rule to :func:`cell_index` for *extents*: a slice built from
+    ``slice_bound(start), slice_bound(stop)`` covers exactly the cells whose
+    centres lie in ``[start, stop)``.  Half-up (not banker's) tie-breaking
+    keeps bounds consistent with :func:`cell_index`: a boundary coordinate
+    resolves upward in both rules.
+    """
+    return int(np.floor(position_um / dl + 0.5 + _INDEX_EPS))
+
 
 @dataclass(frozen=True)
 class Grid:
@@ -80,22 +118,31 @@ class Grid:
         return (np.arange(self.ny) + 0.5) * self.dl
 
     # -- index helpers -----------------------------------------------------------
+    # All coordinate -> index conversions go through the module-level
+    # ``cell_index`` / ``slice_bound`` rule so that geometry builders, ports
+    # and monitors can never disagree about which cell a coordinate lands in.
+    def index_x(self, x_um: float) -> int:
+        """Index of the cell owning ``x_um`` (:func:`cell_index` rule, clipped)."""
+        return int(np.clip(cell_index(x_um, self.dl), 0, self.nx - 1))
+
+    def index_y(self, y_um: float) -> int:
+        """Index of the cell owning ``y_um`` (:func:`cell_index` rule, clipped)."""
+        return int(np.clip(cell_index(y_um, self.dl), 0, self.ny - 1))
+
     def index_of(self, x_um: float, y_um: float) -> tuple[int, int]:
         """Indices of the cell containing physical point ``(x_um, y_um)``."""
-        ix = int(np.clip(np.floor(x_um / self.dl), 0, self.nx - 1))
-        iy = int(np.clip(np.floor(y_um / self.dl), 0, self.ny - 1))
-        return ix, iy
+        return self.index_x(x_um), self.index_y(y_um)
 
     def slice_x(self, x_start: float, x_stop: float) -> slice:
         """Index slice covering ``[x_start, x_stop)`` in micrometres along x."""
-        lo = int(np.clip(np.round(x_start / self.dl), 0, self.nx))
-        hi = int(np.clip(np.round(x_stop / self.dl), 0, self.nx))
+        lo = int(np.clip(slice_bound(x_start, self.dl), 0, self.nx))
+        hi = int(np.clip(slice_bound(x_stop, self.dl), 0, self.nx))
         return slice(min(lo, hi), max(lo, hi))
 
     def slice_y(self, y_start: float, y_stop: float) -> slice:
         """Index slice covering ``[y_start, y_stop)`` in micrometres along y."""
-        lo = int(np.clip(np.round(y_start / self.dl), 0, self.ny))
-        hi = int(np.clip(np.round(y_stop / self.dl), 0, self.ny))
+        lo = int(np.clip(slice_bound(y_start, self.dl), 0, self.ny))
+        hi = int(np.clip(slice_bound(y_stop, self.dl), 0, self.ny))
         return slice(min(lo, hi), max(lo, hi))
 
     def interior_mask(self) -> np.ndarray:

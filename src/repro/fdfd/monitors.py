@@ -53,12 +53,19 @@ class Port:
 
     # -- index helpers -----------------------------------------------------------
     def indices(self, grid: Grid) -> tuple:
-        """Return the ``(ix, iy)`` index expression selecting the port line."""
+        """Return the ``(ix, iy)`` index expression selecting the port line.
+
+        The plane position resolves to its owning cell through the grid's
+        documented rounding rule (``Grid.index_x`` / ``Grid.index_y``, i.e.
+        ``floor``), the same rule used for sources and geometry, so the port
+        injects and measures on one and the same row even at exact half-cell
+        positions.
+        """
         if self.normal_axis == "x":
-            ix = int(np.clip(round(self.position / grid.dl), 0, grid.nx - 1))
+            ix = grid.index_x(self.position)
             transverse = grid.slice_y(self.center - self.span / 2, self.center + self.span / 2)
             return ix, transverse
-        iy = int(np.clip(round(self.position / grid.dl), 0, grid.ny - 1))
+        iy = grid.index_y(self.position)
         transverse = grid.slice_x(self.center - self.span / 2, self.center + self.span / 2)
         return transverse, iy
 
@@ -90,6 +97,24 @@ class Port:
         return out
 
 
+def port_h_indices(port: Port, grid: Grid) -> tuple[tuple, tuple]:
+    """Index expressions of the two H samples straddling the port's Ez line.
+
+    The backward-difference curls in :meth:`FdfdSolver.e_to_h` place ``Hy[i]``
+    at ``x = i * dl`` and ``Hx[:, j]`` at ``y = j * dl`` — half a cell below
+    the Ez samples at ``(i + 0.5) * dl``.  Colocating H on the Ez line
+    therefore means averaging the sample *at* the port row with the one just
+    above it; this returns both index expressions (the upper one clipped at
+    the grid edge, where ports never sit in practice).
+    """
+    index = port.indices(grid)
+    if port.normal_axis == "x":
+        ix, transverse = index
+        return index, (min(ix + 1, grid.nx - 1), transverse)
+    transverse, iy = index
+    return index, (transverse, min(iy + 1, grid.ny - 1))
+
+
 def poynting_flux_through_port(
     ez: np.ndarray,
     hx: np.ndarray,
@@ -100,16 +125,22 @@ def poynting_flux_through_port(
     """Time-averaged Poynting flux through a port, signed by the port direction.
 
     ``S = 0.5 Re(E x H*)``; only the component along the port normal
-    contributes.  The result has arbitrary absolute units — transmission is a
-    ratio of fluxes between a device run and a normalization run.
+    contributes.  E and H live half a cell apart on the Yee grid, so the two H
+    samples straddling the Ez line are averaged onto it before forming the
+    product (see :func:`port_h_indices`) — sampling H at the raw port index
+    instead would bias the flux by O(dl).  The result has arbitrary absolute
+    units — transmission is a ratio of fluxes between a device run and a
+    normalization run.
     """
-    index = port.indices(grid)
+    index, index_up = port_h_indices(port, grid)
     ez_line = np.asarray(ez)[index]
     if port.normal_axis == "x":
-        h_line = np.asarray(hy)[index]
+        h = np.asarray(hy)
+        h_line = 0.5 * (h[index] + h[index_up])
         flux = -0.5 * np.real(np.sum(ez_line * np.conj(h_line))) * grid.dl_m
     else:
-        h_line = np.asarray(hx)[index]
+        h = np.asarray(hx)
+        h_line = 0.5 * (h[index] + h[index_up])
         flux = 0.5 * np.real(np.sum(ez_line * np.conj(h_line))) * grid.dl_m
     return float(port.direction * flux)
 

@@ -26,19 +26,16 @@ def _sigma_profile(depth: np.ndarray, thickness: float) -> np.ndarray:
     return sigma_max * (depth / thickness) ** _POLY_ORDER
 
 
-def create_sfactor(
-    omega: float,
+def sigma_samples(
     dl_m: float,
     n_cells: int,
     n_pml: int,
     shifted: bool,
 ) -> np.ndarray:
-    """Complex stretching factors along one axis.
+    """Real conductivity profile sampled along one axis (zero outside the PML).
 
     Parameters
     ----------
-    omega:
-        Angular frequency [rad/s].
     dl_m:
         Cell size in metres.
     n_cells:
@@ -51,19 +48,20 @@ def create_sfactor(
         the conductivity profile half a cell apart, which is what keeps the
         discrete operator well matched.
 
-    Returns
-    -------
-    numpy.ndarray
-        Complex array of length ``n_cells`` with value 1 outside the PML.
+    This is the frequency-independent part of the absorber, shared between
+    the FDFD stretching factors (:func:`create_sfactor`) and the time-domain
+    CPML recursion in :mod:`repro.fdtd.core` — both tiers absorb with the
+    *same* graded conductivity, sampled at the same stagger offsets, so their
+    boundary behaviour matches up to the discretization of the recursion.
     """
+    sigma = np.zeros(n_cells, dtype=float)
     if n_pml == 0:
-        return np.ones(n_cells, dtype=complex)
+        return sigma
     if 2 * n_pml >= n_cells:
         raise ValueError(f"PML of {n_pml} cells does not fit axis of {n_cells} cells")
 
     thickness = n_pml * dl_m
     offset = 0.5 if shifted else 0.0
-    sfactor = np.ones(n_cells, dtype=complex)
     for i in range(n_cells):
         # Depth into the PML measured from the interior interface, in metres.
         if i < n_pml:
@@ -73,9 +71,30 @@ def create_sfactor(
         else:
             continue
         depth = max(depth, 0.0)
-        sigma = _sigma_profile(np.asarray(depth), thickness)
-        sfactor[i] = 1.0 - 1j * sigma / (omega * EPSILON_0)
-    return sfactor
+        sigma[i] = float(_sigma_profile(np.asarray(depth), thickness))
+    return sigma
+
+
+def create_sfactor(
+    omega: float,
+    dl_m: float,
+    n_cells: int,
+    n_pml: int,
+    shifted: bool,
+) -> np.ndarray:
+    """Complex stretching factors along one axis.
+
+    ``s = 1 - i sigma / (omega eps_0)`` with the conductivity sampled by
+    :func:`sigma_samples`; value 1 outside the PML.  See that function for the
+    parameters.
+
+    Returns
+    -------
+    numpy.ndarray
+        Complex array of length ``n_cells``.
+    """
+    sigma = sigma_samples(dl_m, n_cells, n_pml, shifted)
+    return 1.0 - 1j * sigma / (omega * EPSILON_0)
 
 
 def sfactor_grids(

@@ -139,6 +139,45 @@ def clear_result_cache() -> None:
         _RESULT_CACHE_MISSES = 0
 
 
+def normalization_geometry(
+    grid: Grid, port: Port, eps_line: np.ndarray
+) -> tuple[np.ndarray, Port]:
+    """Reference waveguide and monitor used to normalize a source port.
+
+    The structure is obtained by extruding the source-port permittivity
+    cross-section along the port normal through the whole domain — i.e. the
+    waveguide feeding the port, continued straight — and the monitor is a
+    far-side copy of the port (near side when the port sits past the domain
+    midpoint).  Shared by the FDFD :class:`Simulation` and the time-domain
+    :class:`repro.fdtd.broadband.FdtdSimulation` so both tiers normalize
+    against byte-identical reference structures.
+    """
+    eps_line = np.asarray(eps_line, dtype=float)
+    eps_norm = np.full(grid.shape, float(eps_line.min()))
+    if port.normal_axis == "x":
+        index = port.indices(grid)[1]
+        eps_norm[:, index] = eps_line[None, :]
+        monitor_position = grid.size_x - (grid.npml + 4) * grid.dl
+        if port.position > grid.size_x / 2:
+            monitor_position = (grid.npml + 4) * grid.dl
+    else:
+        index = port.indices(grid)[0]
+        eps_norm[index, :] = eps_line[:, None]
+        monitor_position = grid.size_y - (grid.npml + 4) * grid.dl
+        if port.position > grid.size_y / 2:
+            monitor_position = (grid.npml + 4) * grid.dl
+
+    monitor = Port(
+        name="__norm__",
+        normal_axis=port.normal_axis,
+        position=monitor_position,
+        center=port.center,
+        span=port.span,
+        direction=+1 if monitor_position > port.position else -1,
+    )
+    return eps_norm, monitor
+
+
 @dataclass
 class SimulationResult:
     """Everything measured in one forward solve.
@@ -402,29 +441,7 @@ class Simulation:
         if shared is not None:
             self._norm_cache[key] = shared
             return shared
-        if port.normal_axis == "x":
-            eps_norm = np.full(self.grid.shape, float(eps_line.min()))
-            index = port.indices(self.grid)[1]
-            eps_norm[:, index] = eps_line[None, :]
-            monitor_position = self.grid.size_x - (self.grid.npml + 4) * self.grid.dl
-            if port.position > self.grid.size_x / 2:
-                monitor_position = (self.grid.npml + 4) * self.grid.dl
-        else:
-            eps_norm = np.full(self.grid.shape, float(eps_line.min()))
-            index = port.indices(self.grid)[0]
-            eps_norm[index, :] = eps_line[:, None]
-            monitor_position = self.grid.size_y - (self.grid.npml + 4) * self.grid.dl
-            if port.position > self.grid.size_y / 2:
-                monitor_position = (self.grid.npml + 4) * self.grid.dl
-
-        monitor = Port(
-            name="__norm__",
-            normal_axis=port.normal_axis,
-            position=monitor_position,
-            center=port.center,
-            span=port.span,
-            direction=+1 if monitor_position > port.position else -1,
-        )
+        eps_norm, monitor = normalization_geometry(self.grid, port, eps_line)
         modes = port.solve_modes(eps_norm, self.grid, self.omega, num_modes=mode_index + 1)
         if len(modes) <= mode_index:
             raise ValueError(

@@ -1,0 +1,23 @@
+"""Time-domain (FDTD) fidelity tier.
+
+A 2-D TM leapfrog engine whose difference stencils, Dirichlet closure and
+absorber conductivity profile are shared with the FDFD tier, so its
+frequency-warped DFT extractions satisfy the FDFD equations at the target
+frequency exactly in the interior.  Importing this package registers the
+``"fdtd"`` engine (:class:`FdtdFrequencyEngine`) on the engine registry;
+:class:`FdtdSimulation` is the broadband facade that turns one pulsed run
+into fields and transmissions at many wavelengths.
+"""
+
+from repro.fdtd.broadband import FdtdSimulation
+from repro.fdtd.core import FdtdStepper, GaussianPulse, run_pulsed, warped_frequency
+from repro.fdtd.engine import FdtdFrequencyEngine
+
+__all__ = [
+    "FdtdFrequencyEngine",
+    "FdtdSimulation",
+    "FdtdStepper",
+    "GaussianPulse",
+    "run_pulsed",
+    "warped_frequency",
+]

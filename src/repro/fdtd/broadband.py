@@ -1,0 +1,314 @@
+"""Broadband device simulation: one pulsed FDTD run, many wavelengths.
+
+:class:`FdtdSimulation` is the time-domain sibling of
+:class:`repro.fdfd.simulation.Simulation`: same grid, permittivity and port
+semantics, but constructed with a *list* of wavelengths.  A single pulsed run
+with running DFTs (see :mod:`repro.fdtd.core`) yields the frequency-domain
+fields at every wavelength at once; each is then normalized and measured
+exactly like an FDFD solve — Poynting flux and modal overlap per port,
+divided by the flux/overlap of the same source travelling the extruded
+reference waveguide (:func:`repro.fdfd.simulation.normalization_geometry`,
+also computed broadband from one time-domain run).  The per-wavelength
+results are ordinary :class:`~repro.fdfd.simulation.SimulationResult`
+objects, so every downstream consumer (labels, objectives, datasets) works
+unchanged.
+
+The mode source is solved at the band-centre frequency and injected for all
+wavelengths; any per-wavelength mode mismatch this introduces is common to
+the device and normalization runs and cancels in the transmission ratio.
+
+Where the FDFD facade amortizes one factorization over many right-hand
+sides, this facade amortizes one time-domain run over many wavelengths: for
+N wavelengths it replaces 2N FDFD factorizations (device + normalization per
+wavelength) with 2 runs plus cheap per-wavelength DFT bookkeeping.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.constants import MU_0, omega_to_wavelength, wavelength_to_omega
+from repro.fdfd.grid import Grid
+from repro.fdfd.modes import mode_source_amplitude, overlap_coefficient, solve_slab_modes
+from repro.fdfd.monitors import Port, poynting_flux_through_port
+from repro.fdfd.pml import create_sfactor
+from repro.fdfd.simulation import SimulationResult, normalization_geometry
+from repro.fdtd.core import run_pulsed
+
+# Broadband normalization runs are fully determined by the source-port
+# cross-section, grid, wavelength set and stepping parameters — not by the
+# design — so optimization loops and sibling simulations share one run.
+# Values are small per-wavelength (flux, overlap) arrays.
+_NORM_CACHE: OrderedDict[tuple, tuple[np.ndarray, np.ndarray]] = OrderedDict()
+_NORM_CACHE_MAX = 64
+_NORM_CACHE_LOCK = threading.Lock()
+
+
+def _e_to_h(ez: np.ndarray, grid: Grid, omega: float) -> tuple[np.ndarray, np.ndarray]:
+    """Magnetic fields from Ez, identical to :meth:`FdfdSolver.e_to_h`.
+
+    Matrix-free version of ``factor * (Dyb @ ez)`` / ``-factor * (Dxb @ ez)``:
+    the PML-stretched backward difference is a plain neighbour difference
+    (Dirichlet closure keeps ``ez[0]`` in row 0) scaled by ``1 / (s dl)``, so
+    two slicing ops per component replace a per-wavelength sparse-operator
+    build that this facade would otherwise pay for every extraction frequency.
+    """
+    factor = -1.0 / (1j * omega * MU_0)
+    sx_b = create_sfactor(omega, grid.dl_m, grid.nx, grid.npml, shifted=False)
+    sy_b = create_sfactor(omega, grid.dl_m, grid.ny, grid.npml, shifted=False)
+    dxb = np.empty(grid.shape, dtype=complex)
+    dxb[1:, :] = ez[1:, :] - ez[:-1, :]
+    dxb[0, :] = ez[0, :]
+    dyb = np.empty(grid.shape, dtype=complex)
+    dyb[:, 1:] = ez[:, 1:] - ez[:, :-1]
+    dyb[:, 0] = ez[:, 0]
+    hx = factor * dyb / (grid.dl_m * sy_b[None, :])
+    hy = -factor * dxb / (grid.dl_m * sx_b[:, None])
+    return hx, hy
+
+
+class FdtdSimulation:
+    """Pulsed time-domain simulation measured at many wavelengths at once.
+
+    Parameters
+    ----------
+    grid, eps_r, ports:
+        As for :class:`repro.fdfd.simulation.Simulation` (permittivity must
+        be real — the leapfrog update has no conductivity term).
+    wavelengths:
+        Free-space wavelengths (micrometres) to extract; one time-domain run
+        serves all of them.
+    courant, tau_s, decay_tol, max_steps, check_every, precision:
+        Stepping parameters, see :func:`repro.fdtd.core.run_pulsed`; this
+        facade defaults to single-precision states (the broadband label
+        tolerances sit far above leapfrog roundoff and the running DFT
+        accumulates in double regardless).
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        eps_r: np.ndarray,
+        wavelengths,
+        ports: list[Port],
+        courant: float = 0.9,
+        tau_s: float | None = None,
+        decay_tol: float = 1e-3,
+        max_steps: int = 200_000,
+        check_every: int = 200,
+        precision: str = "single",
+    ):
+        eps_r = np.asarray(eps_r, dtype=float)
+        if eps_r.shape != grid.shape:
+            raise ValueError(f"eps_r shape {eps_r.shape} does not match grid {grid.shape}")
+        wavelengths = [float(w) for w in np.atleast_1d(wavelengths)]
+        if not wavelengths:
+            raise ValueError("at least one wavelength is required")
+        if not ports:
+            raise ValueError("at least one port is required")
+        names = [p.name for p in ports]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate port names: {names}")
+        self.grid = grid
+        self.eps_r = eps_r
+        self.wavelengths = wavelengths
+        self.omegas = np.array([wavelength_to_omega(w) for w in wavelengths])
+        #: Band-centre frequency: where the source mode is solved.
+        self.omega_center = float(self.omegas.mean())
+        self.ports = {p.name: p for p in ports}
+        self._params = dict(
+            courant=courant,
+            tau_s=tau_s,
+            decay_tol=decay_tol,
+            max_steps=max_steps,
+            check_every=check_every,
+            precision=precision,
+        )
+    def _port(self, name: str) -> Port:
+        if name not in self.ports:
+            raise KeyError(f"unknown port {name!r}; available: {sorted(self.ports)}")
+        return self.ports[name]
+
+    def _run(self, eps_r: np.ndarray, currents: np.ndarray) -> np.ndarray:
+        return run_pulsed(
+            self.grid,
+            eps_r,
+            currents[None],
+            self.omegas,
+            real_fields=True,
+            **self._params,
+        )[:, 0]
+
+    # -- normalization ---------------------------------------------------------
+    def _normalization_key(self, port: Port, mode_index: int, eps_line: np.ndarray) -> tuple:
+        return (
+            self.grid,
+            tuple(self.wavelengths),
+            tuple(sorted(self._params.items())),
+            port.normal_axis,
+            port.position,
+            port.center,
+            port.span,
+            port.direction,
+            mode_index,
+            eps_line.tobytes(),
+        )
+
+    def _measure_normalization(
+        self, fields: np.ndarray, eps_norm: np.ndarray, monitor: Port, mode_index: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-wavelength incident flux and modal overlap at the far monitor."""
+        fluxes = np.empty(len(self.omegas))
+        overlaps = np.empty(len(self.omegas), dtype=complex)
+        for k, omega in enumerate(self.omegas):
+            hx, hy = _e_to_h(fields[k], self.grid, omega)
+            fluxes[k] = abs(
+                poynting_flux_through_port(fields[k], hx, hy, monitor, self.grid)
+            )
+            monitor_modes = solve_slab_modes(
+                monitor.eps_line(eps_norm, self.grid), self.grid.dl, omega, mode_index + 1
+            )
+            overlaps[k] = overlap_coefficient(
+                monitor.extract_line(fields[k], self.grid), monitor_modes[mode_index]
+            )
+        return fluxes, overlaps
+
+    def _normalization(
+        self, port: Port, mode_index: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-wavelength incident flux and modal overlap of the source.
+
+        Same reference structure as the FDFD facade
+        (:func:`normalization_geometry`), excited by the same band-centre
+        pulse as the device run and measured wavelength-by-wavelength.
+        Cached — :meth:`solve` computes it alongside the device run (one
+        batched time-domain integration) whenever the cache misses.
+        """
+        eps_line = port.eps_line(self.eps_r, self.grid)
+        key = self._normalization_key(port, mode_index, eps_line)
+        with _NORM_CACHE_LOCK:
+            hit = _NORM_CACHE.get(key)
+            if hit is not None:
+                _NORM_CACHE.move_to_end(key)
+                return hit
+
+        eps_norm, monitor = normalization_geometry(self.grid, port, eps_line)
+        modes = port.solve_modes(
+            eps_norm, self.grid, self.omega_center, num_modes=mode_index + 1
+        )
+        if len(modes) <= mode_index:
+            raise ValueError(
+                f"normalization waveguide for port {port.name!r} does not guide "
+                f"mode {mode_index}"
+            )
+        source = port.scatter_line(mode_source_amplitude(modes[mode_index]), self.grid)
+        fields = self._run(eps_norm, source)
+        result = self._measure_normalization(fields, eps_norm, monitor, mode_index)
+        with _NORM_CACHE_LOCK:
+            while len(_NORM_CACHE) >= _NORM_CACHE_MAX:
+                _NORM_CACHE.popitem(last=False)
+            _NORM_CACHE[key] = result
+        return result
+
+    # -- the broadband solve ---------------------------------------------------
+    def solve(
+        self,
+        source_port: str | None = None,
+        mode_index: int = 0,
+        monitor_ports: list[str] | None = None,
+    ) -> list[SimulationResult]:
+        """One pulsed run; returns one result per wavelength, in order."""
+        if source_port is None:
+            source_port = next(iter(self.ports))
+        port = self._port(source_port)
+        if monitor_ports is None:
+            monitor_ports = [name for name in self.ports if name != source_port]
+
+        modes = port.solve_modes(
+            self.eps_r, self.grid, self.omega_center, num_modes=mode_index + 1
+        )
+        if len(modes) <= mode_index:
+            raise ValueError(
+                f"port {source_port!r} guides only {len(modes)} mode(s); "
+                f"mode {mode_index} requested"
+            )
+        source = port.scatter_line(mode_source_amplitude(modes[mode_index]), self.grid)
+
+        # The normalization waveguide extrudes the source port's own
+        # cross-section, so its guided mode — and hence its injected current —
+        # is identical to the device's.  On a cache miss the reference run
+        # therefore rides along as a second batch item of the same time
+        # integration (per-batch permittivity), amortizing every per-step cost
+        # over both geometries instead of paying for two runs.
+        eps_line = port.eps_line(self.eps_r, self.grid)
+        key = self._normalization_key(port, mode_index, eps_line)
+        with _NORM_CACHE_LOCK:
+            norm = _NORM_CACHE.get(key)
+            if norm is not None:
+                _NORM_CACHE.move_to_end(key)
+        if norm is not None:
+            fields = self._run(self.eps_r, source)
+        else:
+            eps_norm, monitor = normalization_geometry(self.grid, port, eps_line)
+            stacked = run_pulsed(
+                self.grid,
+                np.stack([self.eps_r, eps_norm]),
+                np.stack([source, source]),
+                self.omegas,
+                real_fields=True,
+                **self._params,
+            )
+            fields = stacked[:, 0]
+            norm = self._measure_normalization(stacked[:, 1], eps_norm, monitor, mode_index)
+            with _NORM_CACHE_LOCK:
+                while len(_NORM_CACHE) >= _NORM_CACHE_MAX:
+                    _NORM_CACHE.popitem(last=False)
+                _NORM_CACHE[key] = norm
+        norm_fluxes, norm_overlaps = norm
+
+        results = []
+        for k, omega in enumerate(self.omegas):
+            ez = fields[k]
+            hx, hy = _e_to_h(ez, self.grid, omega)
+            fluxes: dict[str, float] = {}
+            s_params: dict[str, complex] = {}
+            transmissions: dict[str, float] = {}
+            norm_flux = float(norm_fluxes[k])
+            norm_overlap = complex(norm_overlaps[k])
+            for name in monitor_ports:
+                monitor = self._port(name)
+                flux = poynting_flux_through_port(ez, hx, hy, monitor, self.grid)
+                fluxes[name] = float(flux)
+                monitor_modes = solve_slab_modes(
+                    monitor.eps_line(self.eps_r, self.grid), self.grid.dl, omega, 1
+                )
+                if monitor_modes:
+                    overlap = overlap_coefficient(
+                        monitor.extract_line(ez, self.grid), monitor_modes[0]
+                    )
+                else:
+                    overlap = 0.0 + 0.0j
+                s_params[name] = complex(overlap / norm_overlap) if norm_overlap else 0.0j
+                transmissions[name] = (
+                    float(np.clip(flux / norm_flux, 0.0, None)) if norm_flux else 0.0
+                )
+            results.append(
+                SimulationResult(
+                    ez=ez,
+                    hx=hx,
+                    hy=hy,
+                    source=source,
+                    wavelength=float(omega_to_wavelength(omega)),
+                    source_port=source_port,
+                    source_mode=mode_index,
+                    fluxes=fluxes,
+                    s_params=s_params,
+                    transmissions=transmissions,
+                    input_flux=norm_flux,
+                    input_overlap=norm_overlap,
+                )
+            )
+        return results

@@ -18,10 +18,11 @@ surrogates of Table II / Figure 6.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.constants import wavelength_to_omega
 from repro.devices.base import Device, TargetSpec
 from repro.fdfd.engine import SolverEngine, SolveWorkspace, resolve_engine
 from repro.fdfd.simulation import ExcitationSpec, Simulation, SimulationResult
@@ -194,6 +195,7 @@ def evaluate_specs(
     compute_gradient: bool = True,
     eps_postprocess=None,
     wavelength_shift: float = 0.0,
+    wavelengths=None,
 ) -> list[SpecEvaluation]:
     """Objective values and density gradients for many specs, batched.
 
@@ -223,12 +225,38 @@ def evaluate_specs(
         (temperature drift of variation-aware corners).
     wavelength_shift:
         Added to every spec wavelength (laser drift corner).
+    wavelengths:
+        Broadband mode: evaluate every spec at each of these wavelengths
+        (overriding the specs' own) and return the evaluations
+        wavelength-major — ``[eval(w0, spec0), eval(w0, spec1), ...,
+        eval(w1, spec0), ...]`` — with each evaluation's ``spec`` carrying
+        its wavelength.  Forward-only (``compute_gradient`` must be False).
+        With a time-domain engine (``"fdtd"``) all wavelengths of an
+        excitation come from *one* pulsed run
+        (:class:`repro.fdtd.broadband.FdtdSimulation`); any other engine
+        falls back to one frequency-domain solve per wavelength, which is
+        how the FDTD labels are cross-validated.
     """
     backend = backend or NumericalFieldBackend()
     if specs is None:
         specs = device.specs
     if not specs:
         return []
+    if wavelengths is not None:
+        if compute_gradient:
+            raise ValueError(
+                "broadband evaluation is forward-only; pass compute_gradient=False"
+            )
+        return _evaluate_specs_broadband(
+            device,
+            density,
+            list(specs),
+            backend,
+            objectives,
+            eps_postprocess,
+            wavelength_shift,
+            [float(w) for w in np.atleast_1d(wavelengths)],
+        )
     density = np.asarray(density, dtype=float)
 
     groups: dict[tuple, list[int]] = {}
@@ -287,6 +315,144 @@ def evaluate_specs(
                 transmissions=dict(result.transmissions),
                 result=result,
                 adjoint_field=lam,
+            )
+    return evaluations
+
+
+class _BroadbandObjectiveContext:
+    """Duck-typed :class:`Simulation` stand-in for objective evaluation.
+
+    Objectives read ``ports``, ``eps_r``, ``grid`` and ``omega`` — and, only
+    for the flux kind, ``solver`` for its derivative operators.  Building a
+    real Simulation per extraction wavelength would eagerly assemble FDFD
+    operators the default mode-overlap objectives never touch; the stand-in
+    defers that to first use.
+    """
+
+    def __init__(self, grid, eps_r, wavelength: float, ports: dict):
+        self.grid = grid
+        self.eps_r = eps_r
+        self.wavelength = float(wavelength)
+        self.omega = wavelength_to_omega(self.wavelength)
+        self.ports = dict(ports)
+        self._solver = None
+
+    @property
+    def solver(self):
+        if self._solver is None:
+            from repro.fdfd.solver import FdfdSolver
+
+            self._solver = FdfdSolver(self.grid, self.omega)
+        return self._solver
+
+
+def _evaluate_specs_broadband(
+    device: Device,
+    density: np.ndarray,
+    specs: list[TargetSpec],
+    backend: FieldBackend,
+    objectives: dict[int, CompositeObjective] | None,
+    eps_postprocess,
+    wavelength_shift: float,
+    wavelengths: list[float],
+) -> list[SpecEvaluation]:
+    """Forward-only evaluations of every spec at every wavelength.
+
+    See :func:`evaluate_specs` (``wavelengths=``) for the contract.  The
+    time-domain fast path activates only for an explicitly selected ``fdtd``
+    engine; everything else loops per wavelength over the standard
+    frequency-domain path, so the two tiers are drop-in comparable.
+    """
+    if not wavelengths:
+        return []
+    engine = backend.engine
+    if isinstance(engine, str):
+        engine = resolve_engine(engine)
+    from repro.fdtd.engine import FdtdFrequencyEngine
+
+    if not isinstance(engine, FdtdFrequencyEngine):
+        evaluations: list[SpecEvaluation] = []
+        for w in wavelengths:
+            shifted = [replace(spec, wavelength=w) for spec in specs]
+            evaluations.extend(
+                evaluate_specs(
+                    device,
+                    density,
+                    specs=shifted,
+                    backend=backend,
+                    objectives=objectives,
+                    compute_gradient=False,
+                    eps_postprocess=eps_postprocess,
+                    wavelength_shift=wavelength_shift,
+                )
+            )
+        return evaluations
+
+    from repro.fdtd.broadband import FdtdSimulation
+
+    density = np.asarray(density, dtype=float)
+    run_wavelengths = [w + wavelength_shift for w in wavelengths]
+
+    # One pulsed run covers every wavelength, so grouping only splits on what
+    # changes the time-domain problem: the excitation and the device state.
+    groups: dict[tuple, list[int]] = {}
+    for index, spec in enumerate(specs):
+        key = (spec.source_port, spec.source_mode, tuple(sorted(spec.state.items())))
+        groups.setdefault(key, []).append(index)
+
+    results_by_spec: list[list[SimulationResult] | None] = [None] * len(specs)
+    contexts_by_state: dict[tuple, list[_BroadbandObjectiveContext]] = {}
+    for (source_port, source_mode, state_key), indices in groups.items():
+        group_specs = [specs[i] for i in indices]
+        reference = group_specs[0]
+        eps = device.eps_with_design(density)
+        eps = device.apply_state(eps, reference.state)
+        if eps_postprocess is not None:
+            eps = eps_postprocess(eps)
+        monitor_ports: list[str] = []
+        for spec in group_specs:
+            for name in spec.monitored_ports():
+                if name not in monitor_ports:
+                    monitor_ports.append(name)
+        sim = FdtdSimulation(
+            device.grid,
+            eps,
+            run_wavelengths,
+            device.geometry.ports,
+            courant=engine.courant,
+            tau_s=engine.tau_s,
+            decay_tol=engine.decay_tol,
+            max_steps=engine.max_steps,
+            check_every=engine.check_every,
+            precision=engine.precision,
+        )
+        group_results = sim.solve(
+            source_port=source_port, mode_index=source_mode, monitor_ports=monitor_ports
+        )
+        if state_key not in contexts_by_state:
+            contexts_by_state[state_key] = [
+                _BroadbandObjectiveContext(device.grid, eps, w, sim.ports)
+                for w in run_wavelengths
+            ]
+        for i in indices:
+            results_by_spec[i] = group_results
+
+    evaluations = []
+    for k, w in enumerate(wavelengths):
+        for index, spec in enumerate(specs):
+            result = results_by_spec[index][k]
+            context = contexts_by_state[tuple(sorted(spec.state.items()))][k]
+            objective = None if objectives is None else objectives.get(index)
+            objective = objective or objective_for_spec(spec)
+            value, _ = objective.value_and_adjoint_source(context, result)
+            evaluations.append(
+                SpecEvaluation(
+                    spec=replace(spec, wavelength=w),
+                    objective_value=float(value),
+                    grad_density=np.zeros(device.design_shape),
+                    transmissions=dict(result.transmissions),
+                    result=result,
+                )
             )
     return evaluations
 

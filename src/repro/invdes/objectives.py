@@ -11,7 +11,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.fdfd.monitors import Port, mode_overlap, poynting_flux_through_port
+from repro.fdfd.monitors import (
+    Port,
+    mode_overlap,
+    port_h_indices,
+    poynting_flux_through_port,
+)
 from repro.fdfd.simulation import Simulation, SimulationResult
 
 
@@ -65,14 +70,17 @@ class ModeTransmissionObjective(Objective):
 class FluxTransmissionObjective(Objective):
     """Power transmission measured as Poynting flux through a port.
 
-    ``T = P_port / P_in`` with ``P_port = -0.5 d Re(sum Ez conj(Hy))`` (x-normal
-    ports) or ``+0.5 d Re(sum Ez conj(Hx))`` (y-normal ports).  Because the
+    ``T = P_port / P_in`` with ``P_port = -0.5 d Re(sum Ez conj(A Hy))``
+    (x-normal ports) or ``+0.5 d Re(sum Ez conj(A Hx))`` (y-normal ports),
+    where ``A`` averages the two Yee-staggered H rows straddling the port onto
+    the Ez line (see :func:`repro.fdfd.monitors.port_h_indices`).  Because the
     magnetic field is a linear operator applied to ``Ez``, the derivative is::
 
-        dT/dEz = -(0.25 d / P_in) (S^T conj(S M Ez) + M^T S^T conj(S Ez))
+        dT/dEz = -(0.25 d / P_in) (S^T conj(A M Ez) + M^T A^T S^T conj(S Ez))
 
     where ``S`` selects the port line and ``M`` is the corresponding discrete
-    curl row block.
+    curl row block; the adjoint averaging ``A^T`` deposits half the line
+    selector on each of the two straddling H rows.
     """
 
     def __init__(self, port_name: str, weight: float = 1.0):
@@ -95,9 +103,13 @@ class FluxTransmissionObjective(Objective):
         omega = sim.omega
         from repro.constants import MU_0
 
+        index, index_up = port_h_indices(port, grid)
         line_mask = np.zeros(grid.shape, dtype=bool)
-        line_mask[port.indices(grid)] = True
+        line_mask[index] = True
         flat_index = np.flatnonzero(line_mask.ravel())
+        line_mask[...] = False
+        line_mask[index_up] = True
+        flat_up = np.flatnonzero(line_mask.ravel())
 
         ez_flat = result.ez.ravel()
         if port.normal_axis == "x":
@@ -110,13 +122,18 @@ class FluxTransmissionObjective(Objective):
             sign = +1.0
 
         h_flat = h_factor * (curl_rows @ ez_flat)
+        h_bar = 0.5 * (h_flat[flat_index] + h_flat[flat_up])
         scale = sign * port.direction * 0.25 * grid.dl_m / p_in
         grad = np.zeros(grid.n_points, dtype=complex)
-        # Term 1: d/dEz of Ez * conj(H) at the port line.
-        grad[flat_index] += scale * np.conj(h_flat[flat_index])
-        # Term 2: through H = h_factor * (curl_rows @ Ez) in the conj(Ez) * H product.
+        # Term 1: d/dEz of Ez * conj(A H) at the port line.
+        grad[flat_index] += scale * np.conj(h_bar)
+        # Term 2: through H = h_factor * (curl_rows @ Ez) in the conj(Ez) * A H
+        # product; A^T spreads half the line selector onto each straddling row
+        # (np.add.at so a clipped edge port, flat_up == flat_index, still sums).
         selector = np.zeros(grid.n_points, dtype=complex)
-        selector[flat_index] = scale * np.conj(ez_flat[flat_index])
+        line_weight = 0.5 * scale * np.conj(ez_flat[flat_index])
+        np.add.at(selector, flat_index, line_weight)
+        np.add.at(selector, flat_up, line_weight)
         grad += h_factor * (curl_rows.T @ selector)
         return self.weight * value, self.weight * grad.reshape(grid.shape)
 

@@ -84,6 +84,76 @@ class TestEngineParity:
                 assert got.transmissions[port] == pytest.approx(value, abs=1e-7)
 
 
+class TestFdtdTierParity:
+    """Time-domain tier vs ``direct`` FDFD, single-frequency and broadband.
+
+    The FDTD fields satisfy the FDFD equations at the target frequency exactly
+    in the interior (frequency-warped DFT extraction); what remains is the
+    absorbing-boundary model difference and the ring-down truncation, so the
+    tolerances here are physical (percent-level transmissions), not the 1e-5
+    numerical parity of the frequency-domain tiers.
+    """
+
+    #: Five extraction wavelengths across the 1.53-1.57 um band — one pulsed
+    #: run serves all of them.
+    WAVELENGTHS = [1.53, 1.54, 1.55, 1.56, 1.57]
+
+    @staticmethod
+    def _fdtd_engine():
+        return make_engine("fdtd", courant=0.99, decay_tol=3e-4, precision="single")
+
+    def _forward(self, device, density, engine, wavelengths=None):
+        return evaluate_specs(
+            device,
+            density,
+            backend=NumericalFieldBackend(engine=engine),
+            compute_gradient=False,
+            wavelengths=wavelengths,
+        )
+
+    def test_single_frequency_matches_direct(self):
+        device = make_device("bending", domain=3.0, design_size=1.4, dl=0.1)
+        density = _density(device)
+        reference = self._forward(device, density, make_engine("direct"))
+        evaluations = self._forward(device, density, self._fdtd_engine())
+        for ref, got in zip(reference, evaluations):
+            assert set(got.transmissions) == set(ref.transmissions)
+            for port, value in ref.transmissions.items():
+                assert abs(got.transmissions[port] - value) <= max(0.02 * value, 0.005)
+            assert got.objective_value == pytest.approx(
+                ref.objective_value, abs=max(0.02 * ref.objective_value, 0.005)
+            )
+
+    @pytest.mark.parametrize(
+        "device_name,device_kwargs",
+        [
+            ("bending", dict(domain=3.0, design_size=1.4, dl=0.1)),
+            ("wdm", dict(fidelity="high", dl=0.06)),
+        ],
+        ids=["bending", "wdm"],
+    )
+    def test_broadband_matches_per_wavelength_direct(self, device_name, device_kwargs):
+        """One pulsed run agrees with N direct solves to <= 2% per wavelength."""
+        device = make_device(device_name, **device_kwargs)
+        density = _density(device)
+        evaluations = self._forward(
+            device, density, self._fdtd_engine(), wavelengths=self.WAVELENGTHS
+        )
+        reference = self._forward(
+            device, density, make_engine("direct"), wavelengths=self.WAVELENGTHS
+        )
+        assert len(evaluations) == len(reference) == len(self.WAVELENGTHS) * len(
+            device.specs
+        )
+        for ref, got in zip(reference, evaluations):
+            assert got.spec.wavelength == ref.spec.wavelength
+            assert got.result.ez.shape == device.grid.shape
+            for port, value in ref.transmissions.items():
+                # <= 2% relative error on meaningful transmissions, with a
+                # small absolute floor where the reference is near zero.
+                assert abs(got.transmissions[port] - value) <= max(0.02 * value, 0.005)
+
+
 class TestNeuralTierPlumbing:
     """The surrogate tier runs through the same matrix; accuracy is its own
     benchmark (``bench_training.py``), so only well-formedness is asserted."""
