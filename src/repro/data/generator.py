@@ -157,6 +157,15 @@ class GeneratorConfig:
     #: ``engine="fdtd"`` one pulsed time-domain run per excitation covers the
     #: whole set; other engines solve once per wavelength.
     wavelengths: tuple[float, ...] | None = None
+    #: Nonlinear mode: label every spec at the converged Kerr fixed point
+    #: with this chi3 (``eps_eff = eps + chi3 |E|^2`` over the device's
+    #: nonlinear-material map).  None keeps the linear solves — and keeps
+    #: every pre-existing artifact fingerprint bit-identical.
+    chi3: float | None = None
+    #: Intensity axis of nonlinear runs (requires ``chi3``): label each spec
+    #: at every one of these source scales, intensity-major — the nonlinear
+    #: analogue of ``wavelengths``.
+    intensities: tuple[float, ...] | None = None
     seed: int = 0
     strategy_kwargs: dict | None = None
     device_kwargs: dict | None = None
@@ -196,6 +205,12 @@ class DatasetGenerator:
                 "broadband generation (wavelengths=...) is forward-only; "
                 "set with_gradient=False"
             )
+        if config.intensities is not None and config.chi3 is None:
+            raise ValueError(
+                "intensities is the nonlinear sweep axis; set chi3 too"
+            )
+        if config.chi3 is not None and config.wavelengths is not None:
+            raise ValueError("broadband and nonlinear generation cannot be combined")
         self._validate_engine()
         if config.backend:
             # Resolve eagerly: a mis-provisioned backend (bad name, missing
@@ -416,6 +431,10 @@ class DatasetGenerator:
         }
         if config.wavelengths is not None:
             metadata["wavelengths"] = [float(w) for w in config.wavelengths]
+        if config.chi3 is not None:
+            metadata["chi3"] = float(config.chi3)
+            if config.intensities is not None:
+                metadata["intensities"] = [float(s) for s in config.intensities]
         return PhotonicDataset.from_labels(labels, design_ids, metadata=metadata)
 
     def _has_engine_instance(self) -> bool:
@@ -440,6 +459,8 @@ def generate_dataset(
     workers: int = 1,
     shard_dir: str | None = None,
     wavelengths: tuple[float, ...] | None = None,
+    chi3: float | None = None,
+    intensities: tuple[float, ...] | None = None,
 ) -> PhotonicDataset:
     """One-call dataset generation (see :class:`DatasetGenerator`)."""
     config = GeneratorConfig(
@@ -455,6 +476,8 @@ def generate_dataset(
         workers=workers,
         shard_dir=shard_dir,
         wavelengths=wavelengths,
+        chi3=chi3,
+        intensities=intensities,
     )
     return DatasetGenerator(config).generate()
 
@@ -599,6 +622,27 @@ def build_arg_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--chi3",
+        type=float,
+        default=None,
+        help=(
+            "nonlinear mode: label at the converged Kerr fixed point with "
+            "this chi3 (eps_eff = eps + chi3*|E|^2 over the device's "
+            "nonlinear-material map)"
+        ),
+    )
+    parser.add_argument(
+        "--intensities",
+        nargs="+",
+        type=float,
+        default=None,
+        metavar="SCALE",
+        help=(
+            "intensity axis of nonlinear runs (requires --chi3): label every "
+            "spec at each of these source scales, intensity-major"
+        ),
+    )
+    parser.add_argument(
         "--device-kwargs", type=_parse_json_dict, default=None, help="JSON object"
     )
     parser.add_argument(
@@ -617,6 +661,8 @@ def main(argv: list[str] | None = None) -> int:
         fidelities=tuple(args.fidelities),
         with_gradient=not args.no_gradient,
         wavelengths=tuple(args.wavelengths) if args.wavelengths else None,
+        chi3=args.chi3,
+        intensities=tuple(args.intensities) if args.intensities else None,
         seed=args.seed,
         strategy_kwargs=args.strategy_kwargs,
         device_kwargs=args.device_kwargs,

@@ -68,6 +68,8 @@ def extract_labels_batch(
     backend: FieldBackend | None = None,
     engine: SolverEngine | str | None = None,
     wavelengths=None,
+    nonlinearity=None,
+    intensities=None,
 ) -> list[RichLabels]:
     """Simulate one design under many excitation specs and extract all labels.
 
@@ -108,6 +110,18 @@ def extract_labels_batch(
         time-domain run per excitation serves all wavelengths; any other
         engine solves once per wavelength (see
         :func:`repro.invdes.adjoint.evaluate_specs`).
+    nonlinearity:
+        A :class:`~repro.fdfd.nonlinear.KerrNonlinearity`: label the specs at
+        the *converged Kerr fixed point* instead of the linear solution.  The
+        recorded Maxwell residual is the nonlinear one from the fixed-point
+        iteration, and every label carries ``chi3``, ``source_scale`` and
+        iteration counts in :attr:`RichLabels.extras` so surrogates can
+        condition on the intensity axis.
+    intensities:
+        Intensity axis (requires ``nonlinearity``): label every spec at each
+        of these source scales (multiplying ``nonlinearity.source_scale`` and
+        any per-spec ``power`` state), intensity-major — the nonlinear
+        analogue of ``wavelengths``.
     """
     if backend is None:
         backend = NumericalFieldBackend(engine=engine)
@@ -115,6 +129,10 @@ def extract_labels_batch(
         raise ValueError("pass either backend or engine, not both")
     if wavelengths is not None and with_gradient:
         raise ValueError("broadband labels are forward-only; pass with_gradient=False")
+    if intensities is not None and nonlinearity is None:
+        raise ValueError("intensities is the nonlinear sweep axis; pass nonlinearity too")
+    if nonlinearity is not None and wavelengths is not None:
+        raise ValueError("broadband and nonlinear labels cannot be combined")
     if specs is None:
         specs = list(range(len(device.specs)))
     resolved: list[tuple[int, TargetSpec]] = []
@@ -124,19 +142,39 @@ def extract_labels_batch(
         else:
             resolved.append((device.specs.index(spec), spec))
 
-    evaluations = evaluate_specs(
-        device,
-        density,
-        specs=[spec for _, spec in resolved],
-        backend=backend,
-        compute_gradient=with_gradient,
-        wavelengths=wavelengths,
-    )
+    if nonlinearity is None:
+        evaluations = evaluate_specs(
+            device,
+            density,
+            specs=[spec for _, spec in resolved],
+            backend=backend,
+            compute_gradient=with_gradient,
+            wavelengths=wavelengths,
+        )
+        nonlinearity_by_eval = [None] * len(evaluations)
+    else:
+        # Intensity-major sweep over source scales, the nonlinear analogue of
+        # the wavelength axis (a single evaluation when intensities is None).
+        scales = [1.0] if intensities is None else [float(s) for s in intensities]
+        evaluations = []
+        nonlinearity_by_eval = []
+        for s in scales:
+            scaled = nonlinearity.with_scale(nonlinearity.source_scale * s)
+            chunk = evaluate_specs(
+                device,
+                density,
+                specs=[spec for _, spec in resolved],
+                backend=backend,
+                compute_gradient=with_gradient,
+                nonlinearity=scaled,
+            )
+            evaluations.extend(chunk)
+            nonlinearity_by_eval.extend([scaled] * len(chunk))
 
-    # Broadband evaluations come back wavelength-major (all specs at the
-    # first wavelength, then all at the second, ...); replicate the
-    # (spec_index, spec) pairing accordingly.  Each evaluation's spec carries
-    # its actual wavelength, which is what the labels below record.
+    # Broadband/intensity evaluations come back axis-major (all specs at the
+    # first wavelength or intensity, then all at the second, ...); replicate
+    # the (spec_index, spec) pairing accordingly.  Each evaluation's spec
+    # carries its actual wavelength, which is what the labels below record.
     reps = 1 if not resolved else len(evaluations) // len(resolved)
     expanded = [pair for _ in range(reps) for pair in resolved]
 
@@ -146,7 +184,9 @@ def extract_labels_batch(
     sim_by_key: dict[tuple, object] = {}
 
     labels = []
-    for (spec_index, _), evaluation in zip(expanded, evaluations):
+    for (spec_index, _), evaluation, eval_nl in zip(
+        expanded, evaluations, nonlinearity_by_eval
+    ):
         spec = evaluation.spec
         result = evaluation.result
         sim_key = simulation_group_key(spec)
@@ -164,17 +204,32 @@ def extract_labels_batch(
         )
         fom = float(weighted / positive)
 
-        sim = sim_by_key.get(sim_key)
-        if sim is None:
-            sim = Simulation(
-                device.grid,
-                eps_r,
-                spec.wavelength,
-                device.geometry.ports,
-                engine=backend.engine,
-            )
-            sim_by_key[sim_key] = sim
-        residual = sim.maxwell_residual(result)
+        extras: dict[str, float] = {}
+        if eval_nl is not None:
+            # The linear operator does not annihilate a Kerr solution; the
+            # meaningful residual is the nonlinear one the fixed point
+            # converged, tracked by the solve itself.
+            stats = evaluation.nonlinear_stats
+            residual = float(stats.residuals[-1]) if stats.residuals else 0.0
+            chi3_value = eval_nl.chi3 if eval_nl.chi3 is not None else device.chi3
+            extras = {
+                "chi3": float(chi3_value),
+                "source_scale": float(spec.state.get("power", 1.0)) * eval_nl.source_scale,
+                "nonlinear_iterations": float(stats.iterations),
+                "nonlinear_inner_solves": float(stats.inner_solves),
+            }
+        else:
+            sim = sim_by_key.get(sim_key)
+            if sim is None:
+                sim = Simulation(
+                    device.grid,
+                    eps_r,
+                    spec.wavelength,
+                    device.geometry.ports,
+                    engine=backend.engine,
+                )
+                sim_by_key[sim_key] = sim
+            residual = sim.maxwell_residual(result)
 
         labels.append(
             RichLabels(
@@ -197,6 +252,7 @@ def extract_labels_batch(
                 maxwell_residual=residual,
                 fidelity=fidelity if fidelity is not None else device.fidelity,
                 stage=stage,
+                extras=extras,
             )
         )
     return labels

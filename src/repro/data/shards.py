@@ -222,6 +222,14 @@ def shard_fingerprint(
         # Only stamped when broadband mode is on, so every pre-existing
         # single-wavelength artifact keeps its fingerprint (and resumability).
         payload["wavelengths"] = [float(w) for w in wavelengths]
+    chi3 = getattr(config, "chi3", None)
+    if chi3 is not None:
+        # Same conditional-stamping contract as wavelengths: nonlinear runs
+        # carry their chi3/intensity axis, linear artifacts stay bit-identical.
+        payload["chi3"] = float(chi3)
+        intensities = getattr(config, "intensities", None)
+        if intensities is not None:
+            payload["intensities"] = [float(s) for s in intensities]
     digest = hashlib.sha1(json.dumps(payload, sort_keys=True, default=str).encode())
     for density in densities:
         density = np.ascontiguousarray(np.asarray(density, dtype=float))
@@ -292,6 +300,13 @@ def run_shard(task: ShardTask):
     warm = list(wavelengths) if wavelengths else [s.wavelength for s in device.specs]
     warmup_operators(device.grid, [wavelength_to_omega(w) for w in warm])
     engine = engine_for_fidelity(config.engine, spec.fidelity)
+    chi3 = getattr(config, "chi3", None)
+    nonlinearity = None
+    if chi3 is not None:
+        from repro.fdfd.nonlinear import KerrNonlinearity
+
+        nonlinearity = KerrNonlinearity(chi3=float(chi3))
+    intensities = getattr(config, "intensities", None)
 
     labels: list[RichLabels] = []
     design_ids: list[int] = []
@@ -311,6 +326,8 @@ def run_shard(task: ShardTask):
             stage=stage,
             engine=engine,
             wavelengths=wavelengths,
+            nonlinearity=nonlinearity,
+            intensities=intensities,
         )
         for label in design_labels:
             # The acquisition weight rides in the label extras, which shard

@@ -8,7 +8,10 @@ multiplexed to active:
 * :class:`~repro.devices.diode.OpticalDiode` — asymmetric-transmission device,
 * :class:`~repro.devices.wdm.WavelengthDemultiplexer` — 2-channel WDM,
 * :class:`~repro.devices.mdm.ModeDemultiplexer` — 2-mode MDM,
-* :class:`~repro.devices.tos.ThermoOpticSwitch` — active thermo-optic switch.
+* :class:`~repro.devices.tos.ThermoOpticSwitch` — active thermo-optic switch,
+* :class:`~repro.devices.kerr.KerrAllOpticalSwitch` /
+  :class:`~repro.devices.kerr.KerrPowerLimiter` — Kerr nonlinear devices with
+  power-sweep specs (the nonlinear-scenario axis).
 
 Each device owns its simulation grid, background permittivity (waveguides +
 cladding), a rectangular design region, ports and a list of excitation/target
@@ -23,6 +26,7 @@ from repro.devices.diode import OpticalDiode
 from repro.devices.wdm import WavelengthDemultiplexer
 from repro.devices.mdm import ModeDemultiplexer
 from repro.devices.tos import ThermoOpticSwitch
+from repro.devices.kerr import KerrAllOpticalSwitch, KerrPowerLimiter
 from repro.devices.factory import make_device, available_devices
 
 __all__ = [
@@ -35,6 +39,8 @@ __all__ = [
     "WavelengthDemultiplexer",
     "ModeDemultiplexer",
     "ThermoOpticSwitch",
+    "KerrAllOpticalSwitch",
+    "KerrPowerLimiter",
     "make_device",
     "available_devices",
 ]

@@ -146,6 +146,25 @@ class Device:
             raise ValueError(f"{self.name} is a passive device; state {state} not supported")
         return eps_r
 
+    # -- nonlinearity (Kerr devices override/parametrize) ---------------------------
+    #: Default Kerr coefficient of the device's nonlinear material; 0.0 for
+    #: the (linear) bulk of the zoo.  Kerr devices set a calibrated value.
+    chi3: float = 0.0
+
+    def chi3_map(self, chi3: float | None = None) -> np.ndarray:
+        """Grid-shaped Kerr coefficient map ``chi3(r)`` for nonlinear solves.
+
+        The default places the nonlinear material uniformly over the design
+        region (where the optimizable — and for Kerr devices, nonlinear —
+        material lives) and zero elsewhere, so access waveguides and PML stay
+        strictly linear.  ``chi3`` overrides the device default
+        (:attr:`chi3`); subclasses may override for non-uniform materials.
+        """
+        value = self.chi3 if chi3 is None else float(chi3)
+        out = np.zeros(self.grid.shape)
+        out[self.geometry.design_slice] = value
+        return out
+
     # -- convenience -------------------------------------------------------------------
     @property
     def grid(self) -> Grid:

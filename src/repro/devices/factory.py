@@ -6,6 +6,7 @@ from repro.devices.base import Device
 from repro.devices.bend import WaveguideBend
 from repro.devices.crossing import WaveguideCrossing
 from repro.devices.diode import OpticalDiode
+from repro.devices.kerr import KerrAllOpticalSwitch, KerrPowerLimiter
 from repro.devices.mdm import ModeDemultiplexer
 from repro.devices.tos import ThermoOpticSwitch
 from repro.devices.wdm import WavelengthDemultiplexer
@@ -19,10 +20,22 @@ _REGISTRY: dict[str, type[Device]] = {
     "wdm": WavelengthDemultiplexer,
     "mdm": ModeDemultiplexer,
     "tos": ThermoOpticSwitch,
+    "kerr_switch": KerrAllOpticalSwitch,
+    "kerr_limiter": KerrPowerLimiter,
 }
 
-# Canonical names as used in the paper's tables (aliases excluded).
-CANONICAL_DEVICES = ("bending", "crossing", "optical_diode", "mdm", "wdm", "tos")
+# Canonical names as used in the paper's tables (aliases excluded); the
+# kerr_* pair extends the zoo with the nonlinear-scenario axis.
+CANONICAL_DEVICES = (
+    "bending",
+    "crossing",
+    "optical_diode",
+    "mdm",
+    "wdm",
+    "tos",
+    "kerr_switch",
+    "kerr_limiter",
+)
 
 
 def available_devices() -> list[str]:

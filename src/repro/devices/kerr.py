@@ -1,0 +1,212 @@
+"""Kerr nonlinear devices: all-optical switch and power limiter.
+
+Both devices carry an intensity-dependent permittivity
+``eps_eff = eps + chi3 |Ez|^2`` inside the design region (the access
+waveguides stay linear) and define *power-sweep* specs: the same excitation
+at several injected powers, encoded as ``state={"power": s}`` where ``s`` is
+the mode-source scale passed to
+:class:`~repro.fdfd.nonlinear.NonlinearSimulation`.  ``apply_state`` accepts
+the ``power`` key as a no-op — power does not change the linear permittivity;
+the nonlinear evaluation path (:func:`repro.invdes.adjoint.evaluate_specs`
+with ``nonlinearity=``) reads it to scale the source, and the linear path
+simply ignores intensity (its fields are power-independent), so every linear
+consumer of these devices keeps working.
+
+The ``chi3`` values are calibrated workload constants, not material data:
+2-D unit-amplitude mode sources produce fields of order ``1e-5``, so a
+physical ``n2`` would never move the permittivity.  Each device hard-codes
+the ``chi3`` that makes the *high-power* spec shift the design-region
+permittivity by a few tenths — deep in the nonlinear regime yet safely
+inside the stable fixed-point window (the bistable blow-up used by the
+convergence tests starts several times higher).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DEFAULT_WAVELENGTH, EPS_SI, EPS_SIO2
+from repro.devices.base import (
+    Device,
+    DeviceGeometry,
+    TargetSpec,
+    add_horizontal_waveguide,
+    centered_design_slice,
+    make_grid,
+)
+from repro.fdfd.monitors import Port
+
+
+class _KerrDevice(Device):
+    """Shared power-state plumbing of the Kerr zoo devices."""
+
+    #: Source scales of the transfer-curve sweep (benchmarks/examples).
+    power_sweep: tuple[float, ...] = (0.5, 1.0, 2.0, 3.0)
+
+    def apply_state(self, eps_r: np.ndarray, state: dict[str, float]) -> np.ndarray:
+        """``power`` states leave the linear permittivity untouched."""
+        unknown = set(state) - {"power"}
+        if unknown:
+            raise ValueError(f"unsupported state keys for {self.name}: {sorted(unknown)}")
+        return eps_r
+
+
+class KerrAllOpticalSwitch(_KerrDevice):
+    """Intensity-routed 1x2 switch.
+
+    At low power the device should route light to ``out1``; at high power the
+    Kerr-shifted permittivity should re-route it to ``out2``.  Geometrically a
+    twin of the thermo-optic switch — the "actuation" is the optical power
+    itself instead of a heater.
+    """
+
+    name = "kerr_switch"
+    # Calibrated so the high-power spec shifts the design-region permittivity
+    # by ~0.3 at a uniform 0.5 density (see module docstring).
+    chi3 = 1.3e8
+
+    def __init__(
+        self,
+        fidelity: str = "low",
+        dl: float | None = None,
+        domain: float = 4.0,
+        design_size: float = 2.2,
+        wg_width: float = 0.48,
+        output_offset: float = 0.9,
+        wavelength: float = DEFAULT_WAVELENGTH,
+        low_power: float = 1.0,
+        high_power: float = 3.0,
+        crosstalk_penalty: float = 0.3,
+    ):
+        self.domain = domain
+        self.design_size = design_size
+        self.wg_width = wg_width
+        self.output_offset = output_offset
+        self.wavelength = wavelength
+        self.low_power = low_power
+        self.high_power = high_power
+        self.crosstalk_penalty = crosstalk_penalty
+        super().__init__(fidelity=fidelity, dl=dl)
+
+    def _build_geometry(self, dl: float) -> DeviceGeometry:
+        grid = make_grid(self.domain, self.domain, dl)
+        eps = np.full(grid.shape, EPS_SIO2)
+        cx, cy = grid.size_x / 2, grid.size_y / 2
+        y_up = cy + self.output_offset
+        y_down = cy - self.output_offset
+
+        add_horizontal_waveguide(eps, grid, y_center=cy, width=self.wg_width, x_stop=cx)
+        add_horizontal_waveguide(eps, grid, y_center=y_up, width=self.wg_width, x_start=cx)
+        add_horizontal_waveguide(eps, grid, y_center=y_down, width=self.wg_width, x_start=cx)
+
+        design = centered_design_slice(grid, self.design_size, self.design_size)
+        margin = (grid.npml + 3) * grid.dl
+        span = 3.0 * self.wg_width
+        ports = [
+            Port("in", "x", position=margin, center=cy, span=span, direction=+1),
+            Port("out1", "x", position=grid.size_x - margin, center=y_up, span=span, direction=+1),
+            Port("out2", "x", position=grid.size_x - margin, center=y_down, span=span, direction=+1),
+        ]
+        return DeviceGeometry(
+            grid=grid,
+            eps_background=eps,
+            design_slice=design,
+            ports=ports,
+            eps_core=EPS_SI,
+            eps_clad=EPS_SIO2,
+        )
+
+    def _build_specs(self) -> list[TargetSpec]:
+        return [
+            TargetSpec(
+                source_port="in",
+                source_mode=0,
+                wavelength=self.wavelength,
+                port_weights={"out1": 1.0, "out2": -self.crosstalk_penalty},
+                state={"power": self.low_power},
+            ),
+            TargetSpec(
+                source_port="in",
+                source_mode=0,
+                wavelength=self.wavelength,
+                port_weights={"out2": 1.0, "out1": -self.crosstalk_penalty},
+                state={"power": self.high_power},
+            ),
+        ]
+
+
+class KerrPowerLimiter(_KerrDevice):
+    """Intensity-dependent straight-through limiter.
+
+    A single through waveguide crossing the design region: at low power the
+    design should transmit (``out`` rewarded), at high power the Kerr-detuned
+    design region should reflect/scatter it (``out`` penalized) — a saturable
+    transfer curve.
+    """
+
+    name = "kerr_limiter"
+    # Calibrated like the switch: ~0.3 design-region permittivity shift at
+    # the high-power spec through a uniform 0.5 density.
+    chi3 = 1.1e8
+
+    def __init__(
+        self,
+        fidelity: str = "low",
+        dl: float | None = None,
+        domain: float = 4.0,
+        design_size: float = 2.0,
+        wg_width: float = 0.48,
+        wavelength: float = DEFAULT_WAVELENGTH,
+        low_power: float = 1.0,
+        high_power: float = 3.0,
+        limit_penalty: float = 0.5,
+    ):
+        self.domain = domain
+        self.design_size = design_size
+        self.wg_width = wg_width
+        self.wavelength = wavelength
+        self.low_power = low_power
+        self.high_power = high_power
+        self.limit_penalty = limit_penalty
+        super().__init__(fidelity=fidelity, dl=dl)
+
+    def _build_geometry(self, dl: float) -> DeviceGeometry:
+        grid = make_grid(self.domain, self.domain, dl)
+        eps = np.full(grid.shape, EPS_SIO2)
+        cy = grid.size_y / 2
+        add_horizontal_waveguide(eps, grid, y_center=cy, width=self.wg_width)
+
+        design = centered_design_slice(grid, self.design_size, self.design_size)
+        margin = (grid.npml + 3) * grid.dl
+        span = 3.0 * self.wg_width
+        ports = [
+            Port("in", "x", position=margin, center=cy, span=span, direction=+1),
+            Port("out", "x", position=grid.size_x - margin, center=cy, span=span, direction=+1),
+        ]
+        return DeviceGeometry(
+            grid=grid,
+            eps_background=eps,
+            design_slice=design,
+            ports=ports,
+            eps_core=EPS_SI,
+            eps_clad=EPS_SIO2,
+        )
+
+    def _build_specs(self) -> list[TargetSpec]:
+        return [
+            TargetSpec(
+                source_port="in",
+                source_mode=0,
+                wavelength=self.wavelength,
+                port_weights={"out": 1.0},
+                state={"power": self.low_power},
+            ),
+            TargetSpec(
+                source_port="in",
+                source_mode=0,
+                wavelength=self.wavelength,
+                port_weights={"out": -self.limit_penalty},
+                state={"power": self.high_power},
+                weight=0.5,
+            ),
+        ]

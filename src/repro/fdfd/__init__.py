@@ -39,7 +39,12 @@ On top of the engines the package provides:
 * the high-level :class:`~repro.fdfd.simulation.Simulation` facade — including
   :meth:`~repro.fdfd.simulation.Simulation.solve_multi`, which batches all
   excitations of a device into one factorize-once/solve-many call — used by
-  the device library, the dataset generator and the inverse-design toolkit.
+  the device library, the dataset generator and the inverse-design toolkit,
+* the nonlinear (Kerr) tier in :mod:`repro.fdfd.nonlinear` —
+  :class:`~repro.fdfd.nonlinear.KerrSolver` damped-Born/Newton fixed points
+  whose inner iterations are diagonal-only operator updates riding the same
+  engine seam, fronted by
+  :class:`~repro.fdfd.nonlinear.NonlinearSimulation`.
 """
 
 from repro.fdfd.grid import Grid
@@ -61,6 +66,14 @@ from repro.fdfd.solver import FdfdSolver
 from repro.fdfd.modes import solve_slab_modes, solve_slab_modes_batch, ModeProfile
 from repro.fdfd.monitors import Port, poynting_flux_through_port, mode_overlap
 from repro.fdfd.simulation import ExcitationSpec, Simulation, SimulationResult
+from repro.fdfd.nonlinear import (
+    ConvergenceError,
+    KerrNonlinearity,
+    KerrSolver,
+    NonlinearSimulation,
+    NonlinearStats,
+    kerr_eps_effective,
+)
 
 __all__ = [
     "Grid",
@@ -86,4 +99,10 @@ __all__ = [
     "ExcitationSpec",
     "Simulation",
     "SimulationResult",
+    "ConvergenceError",
+    "KerrNonlinearity",
+    "KerrSolver",
+    "NonlinearSimulation",
+    "NonlinearStats",
+    "kerr_eps_effective",
 ]

@@ -50,7 +50,9 @@ import itertools
 import os
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from contextlib import contextmanager
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import ClassVar
 
 import numpy as np
 import scipy.sparse as sp
@@ -78,6 +80,7 @@ __all__ = [
     "RefineStats",
     "RecycledEngine",
     "RecycleStats",
+    "scoped_stats",
     "CountingEngine",
     "precision_dtype",
     "dtype_cache_tag",
@@ -235,9 +238,86 @@ def update_system_diagonal(
 # --------------------------------------------------------------------------- #
 # factorization cache
 # --------------------------------------------------------------------------- #
+class StatsCounters:
+    """Base for the per-engine/per-cache counter dataclasses.
+
+    Counters are monotone tallies of work performed; fields named in
+    ``_GAUGES`` are point-in-time gauges (e.g. bytes currently held) that a
+    :meth:`reset` must not zero and a merge must overwrite rather than sum.
+    The distinction is what lets :func:`scoped_stats` observe one bounded
+    piece of work — a nonlinear outer iteration, one benchmark repeat —
+    without corrupting the cumulative accounting.
+    """
+
+    _GAUGES: ClassVar[tuple[str, ...]] = ()
+
+    def reset(self) -> None:
+        """Zero every counter (gauges keep their current value)."""
+        for spec in dataclass_fields(self):
+            if spec.name not in self._GAUGES:
+                setattr(self, spec.name, 0)
+
+    def merge(self, other: "StatsCounters") -> None:
+        """Fold another stats object of the same type into this one.
+
+        Counters add; gauges take the other (more recent) value.
+        """
+        if type(other) is not type(self):
+            raise TypeError(f"cannot merge {type(other).__name__} into {type(self).__name__}")
+        for spec in dataclass_fields(self):
+            value = getattr(other, spec.name)
+            if spec.name in self._GAUGES:
+                setattr(self, spec.name, value)
+            else:
+                setattr(self, spec.name, getattr(self, spec.name) + value)
+
+
+@contextmanager
+def scoped_stats(*holders):
+    """Observe the stats of engines/caches over one bounded piece of work.
+
+    Each holder (anything with a ``.stats`` counters dataclass — a
+    :class:`RecycledEngine`, a :class:`RefinedEngine`, a
+    :class:`FactorizationCache`, ...) temporarily gets a zeroed stats object
+    (gauges carried over); the list of those scoped objects is yielded in
+    holder order.  On exit the scoped counts are merged back into the
+    cumulative stats, which are reinstalled — so a caller sees exactly what
+    happened inside the ``with`` block while global accounting (benchmark
+    totals, cache hit rates) stays intact.
+
+    This is the fix for the seam bug nonlinear solves exposed: a fixed-point
+    loop performs many inner solves per outer iteration, and without scoping,
+    per-solve ``RecycleStats``/``CacheStats`` reads accumulate across outer
+    iterations (and across unrelated callers sharing the default cache).
+    """
+    saved = []
+    scoped = []
+    for holder in holders:
+        stats = getattr(holder, "stats", None)
+        if not isinstance(stats, StatsCounters):
+            raise TypeError(
+                f"{type(holder).__name__} has no resettable stats; "
+                "pass engines/caches whose .stats derive from StatsCounters"
+            )
+        fresh = type(stats)()
+        for name in fresh._GAUGES:
+            setattr(fresh, name, getattr(stats, name))
+        holder.stats = fresh
+        saved.append(stats)
+        scoped.append(fresh)
+    try:
+        yield scoped
+    finally:
+        for holder, cumulative, fresh in zip(holders, saved, scoped):
+            cumulative.merge(fresh)
+            holder.stats = cumulative
+
+
 @dataclass
-class CacheStats:
+class CacheStats(StatsCounters):
     """Hit/miss counters of a :class:`FactorizationCache`."""
+
+    _GAUGES: ClassVar[tuple[str, ...]] = ("current_bytes",)
 
     hits: int = 0
     misses: int = 0
@@ -1008,7 +1088,7 @@ class IterativeEngine(SolverEngine):
 
 
 @dataclass
-class RefineStats:
+class RefineStats(StatsCounters):
     """What a :class:`RefinedEngine` actually did, for tests and benchmarks."""
 
     factorizations: int = 0
@@ -1120,7 +1200,7 @@ class RefinedEngine(SolverEngine):
 
 
 @dataclass
-class RecycleStats:
+class RecycleStats(StatsCounters):
     """What a :class:`RecycledEngine` actually did, for tests and benchmarks."""
 
     factorizations: int = 0

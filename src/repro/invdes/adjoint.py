@@ -175,6 +175,8 @@ class SpecEvaluation:
     transmissions: dict[str, float] = field(default_factory=dict)
     result: SimulationResult | None = None
     adjoint_field: np.ndarray | None = None
+    #: Convergence telemetry of the Kerr fixed point (nonlinear path only).
+    nonlinear_stats: "object | None" = None
 
     @property
     def weighted_value(self) -> float:
@@ -196,6 +198,7 @@ def evaluate_specs(
     eps_postprocess=None,
     wavelength_shift: float = 0.0,
     wavelengths=None,
+    nonlinearity=None,
 ) -> list[SpecEvaluation]:
     """Objective values and density gradients for many specs, batched.
 
@@ -236,12 +239,38 @@ def evaluate_specs(
         (:class:`repro.fdtd.broadband.FdtdSimulation`); any other engine
         falls back to one frequency-domain solve per wavelength, which is
         how the FDTD labels are cross-validated.
+    nonlinearity:
+        A :class:`~repro.fdfd.nonlinear.KerrNonlinearity`: converge each spec
+        as a Kerr fixed point (``eps_eff = eps + chi3 |E|^2``) instead of a
+        linear solve.  The chi3 map comes from
+        :meth:`~repro.devices.base.Device.chi3_map` and the injected power is
+        ``spec.state["power"] * nonlinearity.source_scale`` (``power``
+        defaults to 1).  Gradients go *through* the converged fixed point via
+        the implicit-function adjoint; each evaluation carries its
+        :class:`~repro.fdfd.nonlinear.NonlinearStats`.  Engine-backed only —
+        the inner solves ride ``backend.engine`` through the ordinary
+        registry (``"recycled"`` makes the outer iterations diagonal-update
+        cheap); neural field backends are not supported.
     """
     backend = backend or NumericalFieldBackend()
     if specs is None:
         specs = device.specs
     if not specs:
         return []
+    if nonlinearity is not None:
+        if wavelengths is not None:
+            raise ValueError("broadband and nonlinear evaluation cannot be combined")
+        return _evaluate_specs_nonlinear(
+            device,
+            np.asarray(density, dtype=float),
+            list(specs),
+            backend,
+            objectives,
+            compute_gradient,
+            eps_postprocess,
+            wavelength_shift,
+            nonlinearity,
+        )
     if wavelengths is not None:
         if compute_gradient:
             raise ValueError(
@@ -315,6 +344,99 @@ def evaluate_specs(
                 transmissions=dict(result.transmissions),
                 result=result,
                 adjoint_field=lam,
+            )
+    return evaluations
+
+
+def _evaluate_specs_nonlinear(
+    device: Device,
+    density: np.ndarray,
+    specs: list[TargetSpec],
+    backend: FieldBackend,
+    objectives: dict[int, CompositeObjective] | None,
+    compute_gradient: bool,
+    eps_postprocess,
+    wavelength_shift: float,
+    nonlinearity,
+) -> list[SpecEvaluation]:
+    """Kerr fixed-point evaluations of every spec (see ``nonlinearity=``).
+
+    The grouping mirrors the linear path — one
+    :class:`~repro.fdfd.nonlinear.NonlinearSimulation` per ``(wavelength,
+    device state)`` — but each excitation is its own fixed point (no
+    superposition), and a ``power`` state additionally scales the injected
+    source, so power-sweep specs of the Kerr zoo devices land in distinct
+    groups with distinct converged permittivities.
+    """
+    from repro.fdfd.nonlinear import NonlinearSimulation
+
+    if not isinstance(backend, NumericalFieldBackend):
+        raise ValueError(
+            "nonlinear evaluation drives the engine seam directly; only the "
+            "numerical field backend is supported"
+        )
+    engine = backend.engine
+    chi3_map = device.chi3_map(nonlinearity.chi3)
+
+    groups: dict[tuple, list[int]] = {}
+    for index, spec in enumerate(specs):
+        groups.setdefault(simulation_group_key(spec), []).append(index)
+
+    evaluations: list[SpecEvaluation | None] = [None] * len(specs)
+    scale = device.geometry.eps_core - device.geometry.eps_clad
+    for indices in groups.values():
+        group_specs = [specs[i] for i in indices]
+        reference = group_specs[0]
+
+        eps = device.eps_with_design(density)
+        eps = device.apply_state(eps, reference.state)
+        if eps_postprocess is not None:
+            eps = eps_postprocess(eps)
+        wavelength = reference.wavelength + wavelength_shift
+        power = float(reference.state.get("power", 1.0))
+        sim = NonlinearSimulation.from_nonlinearity(
+            device.grid,
+            eps,
+            wavelength,
+            device.geometry.ports,
+            chi3_map,
+            nonlinearity,
+            engine=engine,
+            source_scale=power * nonlinearity.source_scale,
+        )
+
+        excitations = [
+            ExcitationSpec(
+                source_port=spec.source_port,
+                mode_index=spec.source_mode,
+                monitor_ports=tuple(spec.monitored_ports()),
+            )
+            for spec in group_specs
+        ]
+        results = sim.solve_multi(excitations)
+        stats = list(sim.last_stats)
+
+        for position, spec, result, stat in zip(indices, group_specs, results, stats):
+            objective = None if objectives is None else objectives.get(position)
+            objective = objective or objective_for_spec(spec)
+            value, adjoint_source = objective.value_and_adjoint_source(sim, result)
+            if compute_gradient:
+                lam = sim.solve_adjoint(result.ez, adjoint_source)
+                grad_eps = sim.solver.permittivity_gradient(result.ez, lam)
+                # chi3 is a fixed material map of the device (not a function of
+                # the density), so the linear chain rule is complete.
+                grad_density = grad_eps[device.geometry.design_slice] * scale
+            else:
+                lam = None
+                grad_density = np.zeros(device.design_shape)
+            evaluations[position] = SpecEvaluation(
+                spec=spec,
+                objective_value=float(value),
+                grad_density=grad_density,
+                transmissions=dict(result.transmissions),
+                result=result,
+                adjoint_field=lam,
+                nonlinear_stats=stat,
             )
     return evaluations
 
@@ -466,6 +588,7 @@ def evaluate_spec(
     compute_gradient: bool = True,
     eps_postprocess=None,
     wavelength_shift: float = 0.0,
+    nonlinearity=None,
 ) -> SpecEvaluation:
     """Objective value and density gradient for a single excitation spec.
 
@@ -481,6 +604,7 @@ def evaluate_spec(
         compute_gradient=compute_gradient,
         eps_postprocess=eps_postprocess,
         wavelength_shift=wavelength_shift,
+        nonlinearity=nonlinearity,
     )[0]
 
 
@@ -491,6 +615,7 @@ def evaluate_all_specs(
     compute_gradient: bool = True,
     eps_postprocess=None,
     wavelength_shift: float = 0.0,
+    nonlinearity=None,
 ) -> tuple[float, np.ndarray, list[SpecEvaluation]]:
     """Weighted objective and gradient accumulated over all device specs.
 
@@ -506,6 +631,7 @@ def evaluate_all_specs(
         compute_gradient=compute_gradient,
         eps_postprocess=eps_postprocess,
         wavelength_shift=wavelength_shift,
+        nonlinearity=nonlinearity,
     )
     total = 0.0
     weight_norm = 0.0

@@ -80,6 +80,11 @@ class InverseDesignProblem:
         around a shared nominal backend), that one is adopted instead.
     eps_postprocess, wavelength_shift:
         Hooks used by the variation-aware wrapper to simulate corners.
+    nonlinearity:
+        Optional :class:`~repro.fdfd.nonlinear.KerrNonlinearity`: every
+        forward solve converges the Kerr fixed point and gradients flow
+        through it (the nonlinear-device optimization path); None keeps the
+        linear solves.
     """
 
     def __init__(
@@ -92,6 +97,7 @@ class InverseDesignProblem:
         workspace: SolveWorkspace | None = None,
         eps_postprocess=None,
         wavelength_shift: float = 0.0,
+        nonlinearity=None,
     ):
         explicit_workspace = workspace is not None
         self.workspace = workspace if explicit_workspace else SolveWorkspace()
@@ -116,6 +122,7 @@ class InverseDesignProblem:
         self.backend = backend
         self.eps_postprocess = eps_postprocess
         self.wavelength_shift = wavelength_shift
+        self.nonlinearity = nonlinearity
 
     # -- parametrization chain ---------------------------------------------------------
     def initial_theta(self, kind: str = "waveguide", rng=None) -> np.ndarray:
@@ -169,6 +176,7 @@ class InverseDesignProblem:
             compute_gradient=compute_gradient,
             eps_postprocess=self.eps_postprocess,
             wavelength_shift=self.wavelength_shift,
+            nonlinearity=self.nonlinearity,
         )
 
         transmissions: dict[str, float] = {}

@@ -1,0 +1,73 @@
+"""Shared finite-difference gradient checking utilities.
+
+Both the linear and the nonlinear (Kerr fixed-point) adjoint tests validate
+analytic gradients the same way: central differences of a scalar objective at
+a handful of deterministic pixels.  This module is the single implementation
+(promoted from ad-hoc loops that used to live in ``test_invdes.py``), also
+reused by ``benchmarks/bench_nonlinear.py`` for its gradient-cosine record.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+def sample_pixels(shape, count: int = 3, rng=0) -> list[tuple[int, ...]]:
+    """Deterministic pixel index tuples for spot-checking a gradient."""
+    rng = np.random.default_rng(rng)
+    return [tuple(int(rng.integers(0, s)) for s in shape) for _ in range(count)]
+
+
+def central_difference(f, x: np.ndarray, pixel: tuple[int, ...], step: float = 1e-4) -> float:
+    """Central finite difference of scalar ``f(x)`` along one pixel of ``x``."""
+    plus = np.array(x, dtype=float, copy=True)
+    plus[pixel] += step
+    minus = np.array(x, dtype=float, copy=True)
+    minus[pixel] -= step
+    return (float(f(plus)) - float(f(minus))) / (2.0 * step)
+
+
+def fd_gradient(
+    f, x: np.ndarray, pixels: list[tuple[int, ...]], step: float = 1e-4
+) -> np.ndarray:
+    """Central-difference gradient of ``f`` at the given pixels."""
+    return np.array([central_difference(f, x, pixel, step=step) for pixel in pixels])
+
+
+def gradient_cosine(analytic: np.ndarray, numeric: np.ndarray) -> float:
+    """Cosine similarity between analytic and finite-difference gradients."""
+    analytic = np.asarray(analytic, dtype=float).ravel()
+    numeric = np.asarray(numeric, dtype=float).ravel()
+    denom = np.linalg.norm(analytic) * np.linalg.norm(numeric)
+    if denom == 0.0:
+        return 1.0 if np.allclose(analytic, numeric) else 0.0
+    return float(np.dot(analytic, numeric) / denom)
+
+
+def assert_gradient_matches_fd(
+    f,
+    x: np.ndarray,
+    grad: np.ndarray,
+    pixels: list[tuple[int, ...]] | None = None,
+    count: int = 3,
+    rng=0,
+    step: float = 1e-4,
+    rel: float = 1e-3,
+    abs_tol: float = 1e-9,
+) -> None:
+    """Assert analytic ``grad`` of scalar ``f`` matches central differences.
+
+    ``f`` takes an array like ``x`` and returns the objective value; ``grad``
+    is the analytic gradient at ``x``.  ``pixels`` defaults to ``count``
+    deterministic samples from ``rng`` (the historical test convention).
+    """
+    if pixels is None:
+        pixels = sample_pixels(np.shape(x), count=count, rng=rng)
+    for pixel in pixels:
+        numeric = central_difference(f, x, pixel, step=step)
+        analytic = float(np.asarray(grad)[pixel])
+        assert analytic == pytest.approx(numeric, rel=rel, abs=abs_tol), (
+            f"gradient mismatch at pixel {pixel}: analytic {analytic:.6e} "
+            f"vs finite-difference {numeric:.6e}"
+        )

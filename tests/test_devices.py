@@ -25,6 +25,8 @@ class TestFactory:
             "mdm",
             "wdm",
             "tos",
+            "kerr_switch",
+            "kerr_limiter",
         }
 
     @pytest.mark.parametrize("name", available_devices())

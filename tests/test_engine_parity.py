@@ -6,7 +6,9 @@ One parametrized suite asserting forward fields, adjoint gradients and
 devices x two grid sizes — the single place engine regressions surface.  The ``neural`` tier (registered from a checkpoint) is
 exercised for plumbing, not accuracy: a surrogate's numbers depend on its
 training, so it is asserted to run end to end and produce finite,
-well-shaped results.
+well-shaped results.  The nonlinear (Kerr) tier gets its own matrix:
+Born vs Newton, recycled-inner vs direct-inner fixed points, and the
+``chi3 = 0`` linear limit, across the two Kerr zoo devices x two grids.
 """
 
 import numpy as np
@@ -14,6 +16,8 @@ import pytest
 
 from repro.devices.factory import make_device
 from repro.fdfd.engine import make_engine
+from repro.fdfd.nonlinear import NonlinearSimulation
+from repro.fdfd.simulation import Simulation
 from repro.invdes.adjoint import NumericalFieldBackend, evaluate_specs
 
 # (case id, device name, device kwargs) — two devices x two grid sizes.
@@ -82,6 +86,87 @@ class TestEngineParity:
             assert set(got.transmissions) == set(ref.transmissions)
             for port, value in ref.transmissions.items():
                 assert got.transmissions[port] == pytest.approx(value, abs=1e-7)
+
+
+# Nonlinear parity matrix: the two Kerr zoo devices x two grid sizes.
+KERR_CASES = [
+    ("kerr_switch-dl0.10", "kerr_switch", dict(domain=3.0, design_size=1.4, dl=0.1)),
+    ("kerr_switch-dl0.08", "kerr_switch", dict(domain=3.0, design_size=1.4, dl=0.08)),
+    ("kerr_limiter-dl0.10", "kerr_limiter", dict(domain=3.0, design_size=1.4, dl=0.1)),
+    ("kerr_limiter-dl0.08", "kerr_limiter", dict(domain=3.0, design_size=1.4, dl=0.08)),
+]
+KERR_CASE_IDS = [case[0] for case in KERR_CASES]
+
+
+@pytest.fixture(scope="module")
+def kerr_cases():
+    cases = {}
+    for case_id, device_name, device_kwargs in KERR_CASES:
+        device = make_device(device_name, **device_kwargs)
+        density = _density(device)
+        cases[case_id] = (device, density, device.eps_with_design(density))
+    return cases
+
+
+@pytest.mark.parametrize("case_id", KERR_CASE_IDS)
+class TestNonlinearParity:
+    """Self-consistency of the Kerr fixed point across methods and engines."""
+
+    RTOL = 1e-10
+
+    def _solve(self, device, eps, engine=None, method="newton", chi3=None):
+        spec = device.specs[0]
+        sim = NonlinearSimulation(
+            device.grid,
+            eps,
+            spec.wavelength,
+            device.geometry.ports,
+            chi3=device.chi3_map() if chi3 is None else chi3,
+            engine=engine,
+            source_scale=float(spec.state.get("power", 1.0)),
+            method=method,
+            rtol=self.RTOL,
+        )
+        result = sim.solve(spec.source_port, monitor_ports=spec.monitored_ports())
+        return sim, result
+
+    def test_born_and_newton_find_the_same_fixed_point(self, kerr_cases, case_id):
+        device, _, eps = kerr_cases[case_id]
+        _, born = self._solve(device, eps, method="born")
+        _, newton = self._solve(device, eps, method="newton")
+        scale = np.linalg.norm(newton.ez)
+        assert np.linalg.norm(born.ez - newton.ez) / scale < 1e-6
+
+    def test_recycled_inner_matches_direct_inner(self, kerr_cases, case_id):
+        """An approximate (refinement-based) inner tier must converge to the
+        same fixed point as exact inner solves, to the nonlinear tolerance."""
+        device, _, eps = kerr_cases[case_id]
+        _, direct = self._solve(device, eps, engine=make_engine("direct"))
+        recycled_sim, recycled = self._solve(
+            device, eps, engine=make_engine("recycled", rtol=1e-12)
+        )
+        scale = np.linalg.norm(direct.ez)
+        assert np.linalg.norm(recycled.ez - direct.ez) / scale < 1e-8
+        stats = recycled_sim.last_stats[0]
+        # The recycled tier must actually ride its refinement path (one
+        # reference factorization, the rest recycled diagonal updates) —
+        # this is the seam the nonlinear workload was built to exercise.
+        assert stats.engine_stats["recycled"]["recycled_solves"] > 0
+
+    def test_linear_limit_is_bit_identical(self, kerr_cases, case_id):
+        """chi3 = 0 must reproduce the linear solve exactly — same bytes."""
+        device, _, eps = kerr_cases[case_id]
+        spec = device.specs[0]
+        _, nonlinear = self._solve(device, eps, chi3=0.0)
+        linear_sim = Simulation(device.grid, eps, spec.wavelength, device.geometry.ports)
+        scale = float(spec.state.get("power", 1.0))
+        source = linear_sim.mode_source(spec.source_port, spec.source_mode) * scale
+        linear = linear_sim.solve(
+            source=source,
+            source_port=spec.source_port,
+            monitor_ports=spec.monitored_ports(),
+        )
+        assert np.array_equal(nonlinear.ez, linear.ez)
 
 
 class TestFdtdTierParity:

@@ -22,6 +22,7 @@ import pytest
 
 from repro.data.labels import extract_labels_batch
 from repro.devices.factory import make_device
+from repro.fdfd.nonlinear import KerrNonlinearity
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 GOLDEN_SEED = 2026
@@ -31,9 +32,14 @@ GOLDEN_SEED = 2026
 FIELD_RTOL = 1e-6
 SCALAR_ATOL = 1e-8
 
+# ``kerr_limiter`` pins a *converged nonlinear fixed point* (Newton, direct
+# inner solves): drift in the Kerr iteration, the effective-permittivity
+# update or the nonlinear adjoint shows up here even if the linear tiers
+# are untouched.
 CASES = {
     "bending": dict(domain=3.0, design_size=1.4, dl=0.1),
     "crossing": dict(domain=3.0, design_size=1.4, dl=0.1),
+    "kerr_limiter": dict(domain=3.0, design_size=1.4, dl=0.1),
 }
 
 
@@ -47,8 +53,14 @@ def compute_case(name: str) -> dict:
     density = np.random.default_rng(GOLDEN_SEED).uniform(
         0.2, 0.8, size=device.design_shape
     )
+    nonlinearity = KerrNonlinearity(rtol=1e-10) if device.chi3 else None
     labels = extract_labels_batch(
-        device, density, with_gradient=True, engine="direct", stage="golden"
+        device,
+        density,
+        with_gradient=True,
+        engine="direct",
+        stage="golden",
+        nonlinearity=nonlinearity,
     )
     arrays = {"density": density}
     records = []

@@ -18,6 +18,7 @@ from repro.parametrization.transforms import (
     BlurTransform,
     TransformPipeline,
 )
+from tests.helpers.fd_grad import assert_gradient_matches_fd, central_difference
 
 
 @pytest.fixture(scope="module")
@@ -32,23 +33,15 @@ class TestAdjointGradients:
         spec = tiny_bend.specs[0]
         objective = objective_for_spec(spec, kind=kind)
         evaluation = evaluate_spec(tiny_bend, bend_density, spec, objective=objective)
-        step = 1e-4
-        rng = np.random.default_rng(0)
-        pixels = [tuple(rng.integers(0, s) for s in tiny_bend.design_shape) for _ in range(3)]
-        for pixel in pixels:
-            plus = bend_density.copy()
-            plus[pixel] += step
-            minus = bend_density.copy()
-            minus[pixel] -= step
-            f_plus = evaluate_spec(
-                tiny_bend, plus, spec, objective=objective, compute_gradient=False
+
+        def value(density):
+            return evaluate_spec(
+                tiny_bend, density, spec, objective=objective, compute_gradient=False
             ).objective_value
-            f_minus = evaluate_spec(
-                tiny_bend, minus, spec, objective=objective, compute_gradient=False
-            ).objective_value
-            numeric = (f_plus - f_minus) / (2 * step)
-            analytic = evaluation.grad_density[pixel]
-            assert analytic == pytest.approx(numeric, rel=1e-3, abs=1e-9)
+
+        assert_gradient_matches_fd(
+            value, bend_density, evaluation.grad_density, rng=0, step=1e-4, rel=1e-3
+        )
 
     def test_gradient_shape(self, tiny_bend, bend_density):
         evaluation = evaluate_spec(tiny_bend, bend_density, tiny_bend.specs[0])
@@ -87,12 +80,7 @@ class TestProblem:
         fom, grad = problem.value_and_grad(theta)
         assert grad.shape == theta.shape
         index = (theta.shape[0] // 2, theta.shape[1] // 2)
-        step = 1e-3
-        plus = theta.copy()
-        plus[index] += step
-        minus = theta.copy()
-        minus[index] -= step
-        numeric = (problem.figure_of_merit(plus) - problem.figure_of_merit(minus)) / (2 * step)
+        numeric = central_difference(problem.figure_of_merit, theta, index, step=1e-3)
         assert grad[index] == pytest.approx(numeric, rel=5e-2, abs=1e-7)
 
     def test_density_from_theta_in_unit_range(self, tiny_bend):
